@@ -1,0 +1,174 @@
+// Command ishare runs the paper's experiments from the terminal:
+//
+//	ishare -experiment fig9 -sf 0.05 -maxpace 40
+//	ishare -experiment all
+//
+// Experiments: fig9, fig10, fig11, fig12, table1, fig13, table2, fig14,
+// table3, fig15, fig16, fig17a, fig17b, fig17c, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ishare/internal/experiments"
+	"ishare/internal/mqo"
+	"ishare/internal/tpch"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig9..fig17c, table1..table3, all)")
+		sf         = flag.Float64("sf", 0.05, "TPC-H scale factor")
+		seed       = flag.Int64("seed", 1, "data and constraint seed")
+		maxPace    = flag.Int("maxpace", 40, "maximum pace J")
+		budget     = flag.Duration("dnf", 30*time.Second, "optimization budget before DNF (fig15)")
+		dot        = flag.String("dot", "", "instead of an experiment, write the shared plan of the named queries (comma-separated, e.g. Q1,Q15) as Graphviz DOT to stdout")
+	)
+	flag.Parse()
+	cfg := experiments.Config{SF: *sf, Seed: *seed, MaxPace: *maxPace, DNFBudget: *budget}
+	if *dot != "" {
+		if err := writeDOT(*dot, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "ishare:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "ishare:", err)
+		os.Exit(1)
+	}
+}
+
+// writeDOT binds the named queries, merges them, and dumps the subplan
+// graph for Graphviz rendering.
+func writeDOT(names string, cfg experiments.Config) error {
+	cat, err := tpch.NewCatalog(cfg.SF)
+	if err != nil {
+		return err
+	}
+	qs, err := tpch.ByName(strings.Split(names, ",")...)
+	if err != nil {
+		return err
+	}
+	bound, err := tpch.Bind(qs, cat, false)
+	if err != nil {
+		return err
+	}
+	sp, err := mqo.Build(bound)
+	if err != nil {
+		return err
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		return err
+	}
+	return g.WriteDOT(os.Stdout, nil)
+}
+
+func run(id string, cfg experiments.Config) error {
+	out := os.Stdout
+	switch id {
+	case "fig9":
+		r, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "fig10":
+		r, err := experiments.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "fig11":
+		r, err := experiments.Figure11(cfg)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "fig12":
+		r, err := experiments.Figure12(cfg)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "table1":
+		f9, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		f11, err := experiments.Figure11(cfg)
+		if err != nil {
+			return err
+		}
+		f12, err := experiments.Figure12(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.Table1(f9, f11, f12).Report(out)
+	case "fig13", "table2":
+		r, err := experiments.Figure13(cfg)
+		if err != nil {
+			return err
+		}
+		if id == "fig13" {
+			r.Report(out)
+		} else {
+			r.Table2(out)
+		}
+	case "fig14", "table3":
+		r, err := experiments.Figure14(cfg)
+		if err != nil {
+			return err
+		}
+		if id == "fig14" {
+			r.Report(out)
+		} else {
+			r.Table3(out)
+		}
+	case "fig15":
+		r, err := experiments.Figure15(cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "fig16":
+		r, err := experiments.Figure16(cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "accuracy":
+		r, err := experiments.ModelAccuracy(cfg)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "fig17a", "fig17b", "fig17c":
+		label := map[string]string{"fig17a": "PairA", "fig17b": "PairB", "fig17c": "PairC"}[id]
+		r, err := experiments.Figure17(cfg, label)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
+	case "all":
+		for _, each := range []string{
+			"fig9", "fig10", "fig11", "fig12", "table1", "fig13", "table2",
+			"fig14", "table3", "fig15", "fig16", "fig17a", "fig17b", "fig17c",
+			"accuracy",
+		} {
+			fmt.Fprintf(out, "==== %s ====\n", each)
+			if err := run(each, cfg); err != nil {
+				return fmt.Errorf("%s: %w", each, err)
+			}
+			fmt.Fprintln(out)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

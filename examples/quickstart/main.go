@@ -1,0 +1,72 @@
+// Quickstart: register a table, schedule two queries with different latency
+// goals, optimize them together, and run over a day's worth of data.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ishare"
+)
+
+func main() {
+	eng := ishare.NewEngine()
+	eng.MustCreateTable(ishare.TableSchema{
+		Name: "orders",
+		Columns: []ishare.Column{
+			{Name: "o_id", Type: ishare.Int},
+			{Name: "o_customer", Type: ishare.String, Distinct: 100},
+			{Name: "o_amount", Type: ishare.Float},
+			{Name: "o_priority", Type: ishare.Int, Distinct: 5, Min: 1, Max: 5},
+		},
+		ExpectedRows: 5000,
+	})
+
+	// Two scheduled reports over the same stream. The overnight revenue
+	// rollup can take its time (relative constraint 1.0 = batch latency is
+	// fine); the urgent-orders report is due right after the data is
+	// complete (0.1 = a tenth of its batch latency).
+	eng.MustAddQuery("revenue",
+		"SELECT o_customer, SUM(o_amount) AS revenue FROM orders GROUP BY o_customer", 1.0)
+	eng.MustAddQuery("urgent",
+		"SELECT o_customer, COUNT(*) AS n FROM orders WHERE o_priority = 1 GROUP BY o_customer", 0.1)
+
+	plan, err := eng.Optimize(ishare.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("-- optimized plan --")
+	plan.Explain(os.Stdout)
+
+	// A day's worth of synthetic orders, in arrival order.
+	rng := rand.New(rand.NewSource(7))
+	data := map[string][]ishare.Row{}
+	for i := 0; i < 5000; i++ {
+		data["orders"] = append(data["orders"], ishare.Row{
+			i,
+			fmt.Sprintf("customer-%02d", rng.Intn(100)),
+			float64(rng.Intn(500)) + 0.99,
+			1 + rng.Intn(5),
+		})
+	}
+
+	report, err := eng.Run(plan, data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntotal work: %d units\n", report.TotalWork)
+	for _, q := range eng.QueryNames() {
+		fmt.Printf("%-8s final work %6d units, %d result rows\n",
+			q, report.FinalWork[q], len(report.Results(q)))
+	}
+	fmt.Println("\nfirst urgent-orders rows:")
+	for i, row := range report.Results("urgent") {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %v\n", row)
+	}
+}

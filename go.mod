@@ -1,0 +1,3 @@
+module ishare
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package buffer provides the append-only delta logs that connect subplans:
+// a subplan whose root has multiple parent subplans materializes its output
+// into a Log, and each parent tracks its own read offset (the role Kafka
+// topics play in the paper's prototype). Base-table delta logs use the same
+// type.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"ishare/internal/delta"
+)
+
+// Log is an append-only sequence of delta tuples, safe for concurrent use.
+type Log struct {
+	mu     sync.RWMutex
+	tuples []delta.Tuple
+	name   string
+}
+
+// NewLog returns an empty log with a diagnostic name.
+func NewLog(name string) *Log {
+	return &Log{name: name}
+}
+
+// Name returns the log's diagnostic name.
+func (l *Log) Name() string { return l.name }
+
+// Append adds tuples to the end of the log.
+func (l *Log) Append(ts ...delta.Tuple) {
+	l.mu.Lock()
+	l.tuples = append(l.tuples, ts...)
+	l.mu.Unlock()
+}
+
+// Len returns the number of tuples written so far.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.tuples)
+}
+
+// Slice copies out tuples [from, to). It panics if the range is invalid so
+// offset bugs surface immediately.
+func (l *Log) Slice(from, to int) []delta.Tuple {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if from < 0 || to < from || to > len(l.tuples) {
+		panic(fmt.Sprintf("buffer %s: bad slice [%d,%d) of %d", l.name, from, to, len(l.tuples)))
+	}
+	out := make([]delta.Tuple, to-from)
+	copy(out, l.tuples[from:to])
+	return out
+}
+
+// All copies out every tuple written so far.
+func (l *Log) All() []delta.Tuple {
+	return l.Slice(0, l.Len())
+}
+
+// Reset discards all contents (used when re-running an experiment).
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.tuples = nil
+	l.mu.Unlock()
+}
+
+// Reader is one consumer's cursor over a log. Each parent subplan owns one
+// reader per input buffer, so parents consume at independent paces.
+type Reader struct {
+	log *Log
+	off int
+}
+
+// NewReader returns a cursor at the start of the log.
+func (l *Log) NewReader() *Reader {
+	return &Reader{log: l}
+}
+
+// ReadNew returns all tuples appended since the previous call and advances
+// the cursor past them.
+func (r *Reader) ReadNew() []delta.Tuple {
+	end := r.log.Len()
+	if end == r.off {
+		return nil
+	}
+	out := r.log.Slice(r.off, end)
+	r.off = end
+	return out
+}
+
+// Offset returns the cursor position.
+func (r *Reader) Offset() int { return r.off }
+
+// Pending returns how many tuples are readable without advancing.
+func (r *Reader) Pending() int { return r.log.Len() - r.off }

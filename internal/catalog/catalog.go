@@ -1,0 +1,124 @@
+// Package catalog holds table schemas and the statistics the cost model
+// consumes: row counts, per-column distinct counts and value ranges.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"ishare/internal/value"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type value.Kind
+}
+
+// ColumnStats summarizes the distribution of one column.
+type ColumnStats struct {
+	// Distinct is the estimated number of distinct values.
+	Distinct float64
+	// Min and Max bound the value range for numeric/date columns.
+	Min, Max value.Value
+}
+
+// TableStats summarizes one table for cardinality estimation.
+type TableStats struct {
+	// RowCount is the (estimated) total number of rows that will arrive
+	// during one trigger window.
+	RowCount float64
+	// Columns maps column name to its statistics.
+	Columns map[string]ColumnStats
+}
+
+// Table is a named schema plus statistics.
+type Table struct {
+	Name    string
+	Columns []Column
+	Stats   TableStats
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the schema's column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Catalog is a set of tables addressed by name.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table. It returns an error if the name is taken or the
+// schema is malformed.
+func (c *Catalog) Add(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table must have a name")
+	}
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		if col.Name == "" {
+			return fmt.Errorf("catalog: table %q has an unnamed column", t.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: table %q has duplicate column %q", t.Name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	if t.Stats.Columns == nil {
+		t.Stats.Columns = make(map[string]ColumnStats)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Lookup returns the named table, or an error naming it.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns all table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetRowCount updates the expected per-window row count of a table.
+func (c *Catalog) SetRowCount(table string, rows float64) error {
+	t, err := c.Lookup(table)
+	if err != nil {
+		return err
+	}
+	t.Stats.RowCount = rows
+	return nil
+}

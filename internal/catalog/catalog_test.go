@@ -1,0 +1,110 @@
+package catalog
+
+import (
+	"testing"
+
+	"ishare/internal/value"
+)
+
+func sample() *Table {
+	return &Table{
+		Name: "part",
+		Columns: []Column{
+			{Name: "p_partkey", Type: value.KindInt},
+			{Name: "p_brand", Type: value.KindString},
+			{Name: "p_size", Type: value.KindInt},
+		},
+		Stats: TableStats{RowCount: 1000},
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := New()
+	if err := c.Add(sample()); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, err := c.Lookup("part")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got.Stats.RowCount != 1000 {
+		t.Errorf("RowCount = %v", got.Stats.RowCount)
+	}
+	if got.Stats.Columns == nil {
+		t.Error("Add must initialize Stats.Columns")
+	}
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	c := New()
+	if err := c.Add(sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(sample()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestAddRejectsMalformed(t *testing.T) {
+	c := New()
+	if err := c.Add(&Table{}); err == nil {
+		t.Error("unnamed table accepted")
+	}
+	if err := c.Add(&Table{Name: "t", Columns: []Column{{Name: ""}}}); err == nil {
+		t.Error("unnamed column accepted")
+	}
+	if err := c.Add(&Table{Name: "t", Columns: []Column{{Name: "a"}, {Name: "a"}}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	c := New()
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("unknown table lookup must fail")
+	}
+}
+
+func TestColumnIndexAndNames(t *testing.T) {
+	tb := sample()
+	if got := tb.ColumnIndex("p_brand"); got != 1 {
+		t.Errorf("ColumnIndex = %d", got)
+	}
+	if got := tb.ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d", got)
+	}
+	names := tb.ColumnNames()
+	if len(names) != 3 || names[0] != "p_partkey" || names[2] != "p_size" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.Add(&Table{Name: n, Columns: []Column{{Name: "x", Type: value.KindInt}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSetRowCount(t *testing.T) {
+	c := New()
+	if err := c.Add(sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRowCount("part", 5000); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := c.Lookup("part")
+	if tb.Stats.RowCount != 5000 {
+		t.Errorf("RowCount = %v", tb.Stats.RowCount)
+	}
+	if err := c.SetRowCount("missing", 1); err == nil {
+		t.Error("SetRowCount on unknown table must fail")
+	}
+}

@@ -1,0 +1,126 @@
+package cost
+
+import (
+	"fmt"
+
+	"ishare/internal/mqo"
+)
+
+// Factor corrects one subplan's estimates using feedback from a previous
+// execution of the recurring workload (paper §3.2: "for the recurring
+// queries, we can calibrate the cardinality estimation based on previous
+// query executions").
+type Factor struct {
+	// Work scales the subplan's estimated private total work.
+	Work float64
+	// Final scales the subplan's estimated private final work. It is kept
+	// separate from Work because total work is dominated by pace-dependent
+	// churn while final work is dominated by the last chunk.
+	Final float64
+	// Out scales the subplan's estimated output cardinalities.
+	Out float64
+}
+
+// Calibration maps a subplan root's base signature — stable across
+// decomposition rebuilds — to its correction factors.
+type Calibration map[string]Factor
+
+// SetCalibration installs correction factors. The memo tables are cleared:
+// cached entries were computed under the previous factors.
+func (m *Model) SetCalibration(c Calibration) {
+	m.calib = c
+	for i := range m.memo {
+		m.memo[i] = make(map[string]memoEntry)
+	}
+}
+
+// Calibration returns the installed factors (nil when uncalibrated).
+func (m *Model) Calibration() Calibration { return m.calib }
+
+// applyCalibration scales a simulation result by the subplan's factors.
+func (m *Model) applyCalibration(s *mqo.Subplan, res SimResult) SimResult {
+	if m.calib == nil {
+		return res
+	}
+	f, ok := m.calib[s.Root.BaseSignature()]
+	if !ok {
+		return res
+	}
+	if f.Work > 0 {
+		res.PrivateTotal *= f.Work
+	}
+	if f.Final > 0 {
+		res.PrivateFinal *= f.Final
+	}
+	if f.Out > 0 {
+		out := res.Out
+		out.Gross *= f.Out
+		out.Net *= f.Out
+		scaled := make(map[int]float64, len(out.PerQuery))
+		for q, v := range out.PerQuery {
+			scaled[q] = v * f.Out
+		}
+		out.PerQuery = scaled
+		res.Out = out
+	}
+	return res
+}
+
+// CalibrationFromRun derives correction factors by comparing the model's
+// estimates under the executed pace configuration against the measured
+// per-subplan total work and output sizes. Factors are clamped to
+// [1/maxFactor, maxFactor] so one noisy recurrence cannot destabilize the
+// next optimization.
+func CalibrationFromRun(m *Model, paces []int, measuredWork, measuredFinal, measuredOut []float64) (Calibration, error) {
+	g := m.Graph
+	if len(measuredWork) != len(g.Subplans) || len(measuredOut) != len(g.Subplans) ||
+		len(measuredFinal) != len(g.Subplans) {
+		return nil, fmt.Errorf("cost: calibration needs one measurement per subplan")
+	}
+	// Estimate with calibration disabled so repeated calibrations do not
+	// compound.
+	fresh := NewModel(g)
+	ev, err := fresh.Evaluate(paces)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := fresh.OutputProfiles(paces)
+	if err != nil {
+		return nil, err
+	}
+	const maxFactor = 8.0
+	calib := make(Calibration, len(g.Subplans))
+	for _, s := range g.Subplans {
+		var f Factor
+		if est := ev.SubTotal[s.ID]; est > 0 && measuredWork[s.ID] > 0 {
+			f.Work = clampFactor(measuredWork[s.ID]/est, maxFactor)
+		}
+		if est := ev.SubFinal[s.ID]; est > 0 && measuredFinal[s.ID] > 0 {
+			// Final-work factors only ever raise the estimate: final work
+			// is the latency proxy, and an optimistic correction measured
+			// at one pace can silently relax a non-incrementable subplan
+			// (Q15) into missing its goal at another.
+			f.Final = clampFactor(measuredFinal[s.ID]/est, maxFactor)
+			if f.Final < 1 {
+				f.Final = 1
+			}
+		}
+		if est := outs[s.ID].Gross; est > 0 && measuredOut[s.ID] > 0 {
+			f.Out = clampFactor(measuredOut[s.ID]/est, maxFactor)
+		}
+		if f.Work > 0 || f.Out > 0 || f.Final > 0 {
+			calib[s.Root.BaseSignature()] = f
+		}
+	}
+	return calib, nil
+}
+
+func clampFactor(f, max float64) float64 {
+	if f > max {
+		return max
+	}
+	if f < 1/max {
+		return 1 / max
+	}
+	return f
+}

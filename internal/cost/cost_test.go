@@ -1,0 +1,288 @@
+package cost
+
+import (
+	"testing"
+
+	"ishare/internal/catalog"
+	"ishare/internal/mqo"
+	"ishare/internal/plan"
+	"ishare/internal/value"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	add := func(name string, rows float64, cols []catalog.Column, stats map[string]catalog.ColumnStats) {
+		if err := c.Add(&catalog.Table{
+			Name:    name,
+			Columns: cols,
+			Stats:   catalog.TableStats{RowCount: rows, Columns: stats},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("lineitem", 10000,
+		[]catalog.Column{
+			{Name: "l_partkey", Type: value.KindInt},
+			{Name: "l_suppkey", Type: value.KindInt},
+			{Name: "l_quantity", Type: value.KindFloat},
+		},
+		map[string]catalog.ColumnStats{
+			"l_partkey":  {Distinct: 200, Min: value.Int(0), Max: value.Int(199)},
+			"l_suppkey":  {Distinct: 5000, Min: value.Int(0), Max: value.Int(4999)},
+			"l_quantity": {Distinct: 50, Min: value.Int(1), Max: value.Int(50)},
+		})
+	add("part", 200,
+		[]catalog.Column{
+			{Name: "p_partkey", Type: value.KindInt},
+			{Name: "p_brand", Type: value.KindString},
+			{Name: "p_size", Type: value.KindInt},
+		},
+		map[string]catalog.ColumnStats{
+			"p_partkey": {Distinct: 200, Min: value.Int(0), Max: value.Int(199)},
+			"p_brand":   {Distinct: 25},
+			"p_size":    {Distinct: 50, Min: value.Int(1), Max: value.Int(50)},
+		})
+	return c
+}
+
+func buildGraph(t *testing.T, c *catalog.Catalog, sqls map[string]string, order []string) *mqo.Graph {
+	t.Helper()
+	var queries []plan.Query
+	for _, name := range order {
+		n, err := plan.ParseAndBind(sqls[name], c)
+		if err != nil {
+			t.Fatalf("bind %s: %v", name, err)
+		}
+		queries = append(queries, plan.Query{Name: name, Root: n})
+	}
+	sp, err := mqo.Build(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func aggGraph(t *testing.T) *mqo.Graph {
+	return buildGraph(t, testCatalog(t), map[string]string{
+		"q": "SELECT l_partkey, SUM(l_quantity) AS sq FROM lineitem GROUP BY l_partkey",
+	}, []string{"q"})
+}
+
+func ones(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+func TestTotalWorkGrowsWithPace(t *testing.T) {
+	g := aggGraph(t)
+	m := NewModel(g)
+	prev := -1.0
+	for _, k := range []int{1, 2, 5, 10, 50} {
+		p := []int{k}
+		ev, err := m.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Total <= prev {
+			t.Errorf("total work at pace %d = %.1f, not greater than %.1f", k, ev.Total, prev)
+		}
+		prev = ev.Total
+	}
+}
+
+func TestFinalWorkShrinksWithPace(t *testing.T) {
+	g := aggGraph(t)
+	m := NewModel(g)
+	e1, err := m.Evaluate([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e10, err := m.Evaluate([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e10.QueryFinal[0] >= e1.QueryFinal[0] {
+		t.Errorf("final work pace10 = %.1f, not less than batch %.1f",
+			e10.QueryFinal[0], e1.QueryFinal[0])
+	}
+}
+
+func TestMemoReuse(t *testing.T) {
+	g := aggGraph(t)
+	m := NewModel(g)
+	if _, err := m.Evaluate([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	sims := m.Sims
+	if _, err := m.Evaluate([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sims != sims {
+		t.Errorf("memoized re-evaluation simulated again: %d -> %d", sims, m.Sims)
+	}
+	if m.Hits == 0 {
+		t.Error("no memo hits recorded")
+	}
+}
+
+func TestMemoMatchesNonMemo(t *testing.T) {
+	g := buildGraph(t, testCatalog(t), map[string]string{
+		"q1": `SELECT p_brand, SUM(l_quantity) FROM part, lineitem
+			WHERE p_partkey = l_partkey GROUP BY p_brand`,
+		"q2": `SELECT p_brand, SUM(l_quantity) FROM part, lineitem
+			WHERE p_partkey = l_partkey AND p_size > 25 GROUP BY p_brand`,
+	}, []string{"q1", "q2"})
+	withMemo := NewModel(g)
+	noMemo := NewModel(g)
+	noMemo.UseMemo = false
+	paces := [][]int{ones(len(g.Subplans)), nil, nil}
+	paces[1] = make([]int, len(g.Subplans))
+	paces[2] = make([]int, len(g.Subplans))
+	for i := range paces[1] {
+		paces[1][i] = 4
+		paces[2][i] = 1 + i%3
+	}
+	for _, p := range paces {
+		a, err := withMemo.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := noMemo.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Total != b.Total {
+			t.Errorf("paces %v: memo %.3f vs sim %.3f", p, a.Total, b.Total)
+		}
+		for q := range a.QueryFinal {
+			if a.QueryFinal[q] != b.QueryFinal[q] {
+				t.Errorf("paces %v query %d: memo %.3f vs sim %.3f",
+					p, q, a.QueryFinal[q], b.QueryFinal[q])
+			}
+		}
+	}
+	if noMemo.Hits != 0 {
+		t.Error("non-memo model recorded hits")
+	}
+}
+
+func TestSharedPlanCheaperThanSumInBatch(t *testing.T) {
+	c := testCatalog(t)
+	sqls := map[string]string{
+		"q1": `SELECT p_brand, SUM(l_quantity) FROM part, lineitem
+			WHERE p_partkey = l_partkey GROUP BY p_brand`,
+		"q2": `SELECT p_brand, SUM(l_quantity) FROM part, lineitem
+			WHERE p_partkey = l_partkey AND p_size > 25 GROUP BY p_brand`,
+	}
+	shared := buildGraph(t, c, sqls, []string{"q1", "q2"})
+	ms := NewModel(shared)
+	evShared, err := ms.Evaluate(ones(len(shared.Subplans)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, name := range []string{"q1", "q2"} {
+		g := buildGraph(t, c, sqls, []string{name})
+		m := NewModel(g)
+		ev, err := m.Evaluate(ones(len(g.Subplans)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += ev.Total
+	}
+	if evShared.Total >= sum {
+		t.Errorf("shared batch %.1f not cheaper than separate sum %.1f", evShared.Total, sum)
+	}
+}
+
+func TestMinMaxEagerPenalty(t *testing.T) {
+	// A max-over-sum query (Q15's shape: a global MAX above a
+	// high-cardinality per-supplier SUM) is not incrementable: retracting
+	// the current maximum forces a rescan proportional to the number of
+	// suppliers, so eager execution both costs more in total and fails to
+	// reduce final work as much as an incrementable SUM query does.
+	c := testCatalog(t)
+	gSum := buildGraph(t, c, map[string]string{
+		"q": "SELECT l_suppkey, SUM(l_quantity) AS sq FROM lineitem GROUP BY l_suppkey",
+	}, []string{"q"})
+	gMax := buildGraph(t, c, map[string]string{
+		"q": `SELECT MAX(sq) FROM (SELECT SUM(l_quantity) AS sq
+			FROM lineitem GROUP BY l_suppkey) t`,
+	}, []string{"q"})
+	ratios := func(g *mqo.Graph) (total, final float64) {
+		m := NewModel(g)
+		e1, err := m.Evaluate(ones(len(g.Subplans)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]int, len(g.Subplans))
+		for i := range p {
+			p[i] = 20
+		}
+		e20, err := m.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e20.Total / e1.Total, e20.QueryFinal[0] / e1.QueryFinal[0]
+	}
+	tSum, fSum := ratios(gSum)
+	tMax, fMax := ratios(gMax)
+	if tMax <= tSum {
+		t.Errorf("max-over-sum eager total growth %.2fx not steeper than sum %.2fx", tMax, tSum)
+	}
+	if fMax <= fSum {
+		t.Errorf("max-over-sum final-work ratio %.3f not worse than sum %.3f", fMax, fSum)
+	}
+}
+
+func TestBatchFinalWork(t *testing.T) {
+	c := testCatalog(t)
+	sqls := map[string]string{
+		"q1": "SELECT p_brand FROM part",
+		"q2": `SELECT p_brand, SUM(l_quantity) FROM part, lineitem
+			WHERE p_partkey = l_partkey GROUP BY p_brand`,
+	}
+	var graphs []*mqo.Graph
+	for _, name := range []string{"q1", "q2"} {
+		graphs = append(graphs, buildGraph(t, c, sqls, []string{name}))
+	}
+	fw, err := BatchFinalWork(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw) != 2 || fw[0] <= 0 || fw[1] <= fw[0] {
+		t.Errorf("batch final work = %v (q2 joins more data and must cost more)", fw)
+	}
+}
+
+func TestEvaluateRejectsBadPaces(t *testing.T) {
+	g := aggGraph(t)
+	m := NewModel(g)
+	if _, err := m.Evaluate([]int{1, 1}); err == nil {
+		t.Error("wrong pace count accepted")
+	}
+}
+
+func TestDrawnDistinct(t *testing.T) {
+	if got := drawnDistinct(100, 0); got != 0 {
+		t.Errorf("no draws = %v", got)
+	}
+	if got := drawnDistinct(100, 1e9); got != 100 {
+		t.Errorf("saturation = %v", got)
+	}
+	mid := drawnDistinct(100, 100)
+	if mid <= 50 || mid >= 100 {
+		t.Errorf("100 draws from 100 = %v, want ~63", mid)
+	}
+	if got := drawnDistinct(100, 5); got > 5 {
+		t.Errorf("distinct %v exceeds draw count", got)
+	}
+}

@@ -1,0 +1,233 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ishare/internal/mqo"
+)
+
+// Model evaluates pace configurations over a subplan graph. With memoization
+// enabled (the default), each subplan caches simulation results keyed by its
+// private pace configuration — its own pace plus all descendant subplans'
+// paces — which fully determines its inputs and therefore its cost (the
+// paper's Algorithm 1).
+type Model struct {
+	Graph *mqo.Graph
+	// UseMemo disables the memo table when false (the paper's
+	// simulate-from-scratch baseline in Figure 15).
+	UseMemo bool
+
+	// Sims counts per-subplan simulations performed; Lookups and Hits
+	// count memo-table traffic. Experiments report these as optimization
+	// overhead.
+	Sims, Lookups, Hits int64
+
+	memo        []map[string]memoEntry
+	descendants [][]int
+	tableProf   map[tableKey]Profile
+	calib       Calibration
+}
+
+type tableKey struct {
+	name    string
+	queries mqo.Bitset
+}
+
+type memoEntry struct {
+	pT, pF float64
+	out    Profile
+}
+
+// Eval is the estimated cost of one pace configuration.
+type Eval struct {
+	// Total is C_T(P): the estimated total work of all subplans.
+	Total float64
+	// SubTotal and SubFinal are per-subplan private total and final work.
+	SubTotal, SubFinal []float64
+	// QueryFinal is C_F(P, q): per query, the summed private final work of
+	// the subplans it participates in.
+	QueryFinal []float64
+}
+
+// NewModel builds a model for the graph with memoization enabled.
+func NewModel(g *mqo.Graph) *Model {
+	m := &Model{
+		Graph:     g,
+		UseMemo:   true,
+		memo:      make([]map[string]memoEntry, len(g.Subplans)),
+		tableProf: make(map[tableKey]Profile),
+	}
+	for i := range m.memo {
+		m.memo[i] = make(map[string]memoEntry)
+	}
+	m.descendants = make([][]int, len(g.Subplans))
+	for _, s := range g.Subplans { // children-first: descendants already set
+		seen := map[int]bool{}
+		var ids []int
+		for _, c := range s.Children {
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				ids = append(ids, c.ID)
+			}
+			for _, d := range m.descendants[c.ID] {
+				if !seen[d] {
+					seen[d] = true
+					ids = append(ids, d)
+				}
+			}
+		}
+		sort.Ints(ids)
+		m.descendants[s.ID] = ids
+	}
+	return m
+}
+
+// Evaluate estimates the cost of a pace configuration.
+func (m *Model) Evaluate(paces []int) (Eval, error) {
+	ev, _, err := m.evaluateFull(paces)
+	return ev, err
+}
+
+// OutputProfiles returns each subplan's estimated output profile under the
+// pace configuration, indexed by subplan id.
+func (m *Model) OutputProfiles(paces []int) ([]Profile, error) {
+	_, outs, err := m.evaluateFull(paces)
+	return outs, err
+}
+
+// SubplanInputs returns each member operator's external input profiles for
+// one subplan under the pace configuration.
+func (m *Model) SubplanInputs(s *mqo.Subplan, paces []int) (map[*mqo.Op][]Profile, error) {
+	outs, err := m.OutputProfiles(paces)
+	if err != nil {
+		return nil, err
+	}
+	return m.inputsFor(s, outs), nil
+}
+
+// OpOutputs simulates one subplan under the pace configuration and returns
+// every member operator's accumulated output profile — the input
+// cardinalities used by decomposition's subtree-local optimization.
+func (m *Model) OpOutputs(s *mqo.Subplan, paces []int) (map[*mqo.Op]Profile, error) {
+	inputs, err := m.SubplanInputs(s, paces)
+	if err != nil {
+		return nil, err
+	}
+	m.Sims++
+	_, outs := SimulateSubplanOps(s, paces[s.ID], inputs, true)
+	return outs, nil
+}
+
+func (m *Model) evaluateFull(paces []int) (Eval, []Profile, error) {
+	g := m.Graph
+	if len(paces) != len(g.Subplans) {
+		return Eval{}, nil, fmt.Errorf("cost: %d paces for %d subplans", len(paces), len(g.Subplans))
+	}
+	ev := Eval{
+		SubTotal:   make([]float64, len(g.Subplans)),
+		SubFinal:   make([]float64, len(g.Subplans)),
+		QueryFinal: make([]float64, g.Plan.NumQueries()),
+	}
+	outputs := make([]Profile, len(g.Subplans))
+	for _, s := range g.Subplans {
+		var res SimResult
+		key := m.privateKey(s, paces)
+		hit := false
+		if m.UseMemo {
+			m.Lookups++
+			if e, ok := m.memo[s.ID][key]; ok {
+				m.Hits++
+				res = SimResult{PrivateTotal: e.pT, PrivateFinal: e.pF, Out: e.out}
+				hit = true
+			}
+		}
+		if !hit {
+			m.Sims++
+			res = SimulateSubplan(s, paces[s.ID], m.inputsFor(s, outputs))
+			res = m.applyCalibration(s, res)
+			if m.UseMemo {
+				m.memo[s.ID][key] = memoEntry{pT: res.PrivateTotal, pF: res.PrivateFinal, out: res.Out}
+			}
+		}
+		outputs[s.ID] = res.Out
+		ev.SubTotal[s.ID] = res.PrivateTotal
+		ev.SubFinal[s.ID] = res.PrivateFinal
+		ev.Total += res.PrivateTotal
+		for _, q := range s.Queries.Members() {
+			ev.QueryFinal[q] += res.PrivateFinal
+		}
+	}
+	return ev, outputs, nil
+}
+
+// inputsFor assembles each member op's external input profiles.
+func (m *Model) inputsFor(s *mqo.Subplan, outputs []Profile) map[*mqo.Op][]Profile {
+	member := make(map[*mqo.Op]bool, len(s.Ops))
+	for _, o := range s.Ops {
+		member[o] = true
+	}
+	in := make(map[*mqo.Op][]Profile)
+	for _, o := range s.Ops {
+		if o.Kind == mqo.KindScan {
+			in[o] = []Profile{m.tableProfile(o)}
+			continue
+		}
+		profs := make([]Profile, len(o.Children))
+		for i, c := range o.Children {
+			if member[c] {
+				continue // computed inline by the simulator
+			}
+			profs[i] = outputs[m.Graph.SubplanOf(c).ID]
+		}
+		in[o] = profs
+	}
+	return in
+}
+
+func (m *Model) tableProfile(o *mqo.Op) Profile {
+	k := tableKey{name: o.Table.Name, queries: o.Queries}
+	if p, ok := m.tableProf[k]; ok {
+		return p
+	}
+	p := TableProfile(o.Table, o.Queries)
+	m.tableProf[k] = p
+	return p
+}
+
+// privateKey renders the subplan's private pace configuration.
+func (m *Model) privateKey(s *mqo.Subplan, paces []int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(paces[s.ID]))
+	for _, d := range m.descendants[s.ID] {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(paces[d]))
+	}
+	return b.String()
+}
+
+// BatchFinalWork estimates each query's final work when executed separately
+// in one batch — the denominator of relative final-work constraints. It
+// builds a single-query cost model per query, so shared-plan effects do not
+// leak into the baseline.
+func BatchFinalWork(graphs []*mqo.Graph) ([]float64, error) {
+	out := make([]float64, len(graphs))
+	for i, g := range graphs {
+		m := NewModel(g)
+		paces := make([]int, len(g.Subplans))
+		for j := range paces {
+			paces[j] = 1
+		}
+		ev, err := m.Evaluate(paces)
+		if err != nil {
+			return nil, err
+		}
+		if g.Plan.NumQueries() != 1 {
+			return nil, fmt.Errorf("cost: batch baseline graph %d has %d queries", i, g.Plan.NumQueries())
+		}
+		out[i] = ev.QueryFinal[0]
+	}
+	return out, nil
+}

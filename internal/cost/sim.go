@@ -1,0 +1,524 @@
+package cost
+
+import (
+	"ishare/internal/catalog"
+	"ishare/internal/exec"
+	"ishare/internal/expr"
+	"ishare/internal/mqo"
+	"ishare/internal/plan"
+	"ishare/internal/value"
+)
+
+// maxDeleteHitFraction is the modeled probability weight that a deletion
+// arriving at a MIN/MAX aggregate retracts the current extremum and forces a
+// state rescan; real workloads skew toward hot groups, so the expectation
+// under a uniform model would underestimate the engine.
+const maxDeleteHitFraction = 0.5
+
+// SimResult is the outcome of simulating one subplan under one pace.
+type SimResult struct {
+	// PrivateTotal is the estimated work of all incremental executions.
+	PrivateTotal float64
+	// PrivateFinal is the estimated work of the final execution.
+	PrivateFinal float64
+	// Out is the subplan's estimated output stream over the window.
+	Out Profile
+}
+
+// opSim is the per-operator simulation state persisted across the simulated
+// incremental executions of one subplan.
+type opSim struct {
+	op *mqo.Op
+
+	// Join state.
+	leftState, rightState     perQueryCard
+	leftNet, rightNet         float64
+	leftKeyDist, rightKeyDist float64
+	// Aggregate state.
+	arrived     perQueryCard
+	arrivedAll  float64
+	groupsPrev  perQueryCard
+	groupDomain float64
+	netState    float64
+}
+
+// perQueryCard is a per-query cardinality vector.
+type perQueryCard map[int]float64
+
+func (p perQueryCard) add(q int, v float64) {
+	p[q] += v
+}
+
+// SimulateSubplan runs the analytic simulation of one subplan: pace
+// executions, each consuming 1/pace of every input profile (the paper's
+// memoization-friendly redefinition of pace over the subplan's own input).
+func SimulateSubplan(s *mqo.Subplan, pace int, inputs map[*mqo.Op][]Profile) SimResult {
+	res, _ := SimulateSubplanOps(s, pace, inputs, false)
+	return res
+}
+
+// SimulateSubplanOps additionally returns each member operator's
+// accumulated output profile when collect is true — the input cardinalities
+// decomposition needs for subtree-local optimization (paper Figure 7).
+func SimulateSubplanOps(s *mqo.Subplan, pace int, inputs map[*mqo.Op][]Profile, collect bool) (SimResult, map[*mqo.Op]Profile) {
+	sims := make(map[*mqo.Op]*opSim, len(s.Ops))
+	member := make(map[*mqo.Op]bool, len(s.Ops))
+	for _, o := range s.Ops {
+		sims[o] = newOpSim(o, inputs)
+		member[o] = true
+	}
+
+	var res SimResult
+	var outGross, outDeletes, outNet float64
+	var outPerQuery perQueryCard = make(map[int]float64)
+	var outCols []catalog.ColumnStats
+	var opOut map[*mqo.Op]Profile
+	if collect {
+		opOut = make(map[*mqo.Op]Profile, len(s.Ops))
+	}
+
+	for e := 1; e <= pace; e++ {
+		var work float64
+		var rootOut Profile
+		var visit func(o *mqo.Op) Profile
+		visit = func(o *mqo.Op) Profile {
+			var ins []Profile
+			if o.Kind == mqo.KindScan {
+				ins = []Profile{chunk(inputs[o][0], pace)}
+			} else {
+				ins = make([]Profile, len(o.Children))
+				for i, c := range o.Children {
+					if member[c] {
+						ins[i] = visit(c)
+					} else {
+						ins[i] = chunk(inputs[o][i], pace)
+					}
+				}
+			}
+			out, w := sims[o].step(ins)
+			work += w
+			if collect {
+				acc := opOut[o]
+				if acc.PerQuery == nil {
+					acc.PerQuery = make(map[int]float64)
+				}
+				acc.Gross += out.Gross
+				acc.DeleteShare += out.Gross * out.DeleteShare // normalized below
+				acc.Net += out.Net
+				acc.Cols = out.Cols
+				for q, v := range out.PerQuery {
+					acc.PerQuery[q] += v
+				}
+				opOut[o] = acc
+			}
+			return out
+		}
+		rootOut = visit(s.Root)
+		// Root output materialization plus the per-execution startup
+		// cost, as in the engine.
+		work += rootOut.Gross
+		work += float64(exec.StartupCostPerOp * len(s.Ops))
+		res.PrivateTotal += work
+		if e == pace {
+			res.PrivateFinal = work
+		}
+		outGross += rootOut.Gross
+		outDeletes += rootOut.Gross * rootOut.DeleteShare
+		outNet += rootOut.Net
+		for q, v := range rootOut.PerQuery {
+			outPerQuery.add(q, v)
+		}
+		outCols = rootOut.Cols
+	}
+	res.Out = Profile{
+		Gross:    outGross,
+		Net:      outNet,
+		PerQuery: outPerQuery,
+		Cols:     outCols,
+	}
+	if outGross > 0 {
+		res.Out.DeleteShare = outDeletes / outGross
+	}
+	// Normalize the accumulated delete shares.
+	for o, p := range opOut {
+		if p.Gross > 0 {
+			p.DeleteShare /= p.Gross
+		}
+		opOut[o] = p
+	}
+	return res, opOut
+}
+
+// chunk returns one execution's share of an input profile.
+func chunk(p Profile, pace int) Profile {
+	k := float64(pace)
+	out := Profile{
+		Gross:       p.Gross / k,
+		Net:         p.Net / k,
+		DeleteShare: p.DeleteShare,
+		PerQuery:    make(map[int]float64, len(p.PerQuery)),
+		Cols:        p.Cols,
+	}
+	for q, v := range p.PerQuery {
+		out.PerQuery[q] = v / k
+	}
+	return out
+}
+
+func newOpSim(o *mqo.Op, inputs map[*mqo.Op][]Profile) *opSim {
+	return &opSim{
+		op:         o,
+		leftState:  make(map[int]float64),
+		rightState: make(map[int]float64),
+		arrived:    make(map[int]float64),
+		groupsPrev: make(map[int]float64),
+	}
+}
+
+// step simulates one execution of the operator over one input chunk per
+// child and returns (output profile, work units).
+func (s *opSim) step(ins []Profile) (Profile, float64) {
+	switch s.op.Kind {
+	case mqo.KindScan:
+		return s.stepFilterLike(ins[0], s.op.Schema(), true)
+	case mqo.KindProject:
+		return s.stepProject(ins[0])
+	case mqo.KindJoin:
+		return s.stepJoin(ins[0], ins[1])
+	case mqo.KindAggregate:
+		return s.stepAgg(ins[0])
+	default:
+		return Profile{}, 0
+	}
+}
+
+// applyPreds computes the per-query and union survival of the operator's
+// marker predicates over a stream.
+func (s *opSim) applyPreds(in Profile) (out Profile) {
+	out = Profile{
+		Net:         in.Net,
+		DeleteShare: in.DeleteShare,
+		PerQuery:    make(map[int]float64),
+		Cols:        in.Cols,
+	}
+	stats := colStats{cols: in.Cols}
+	// The union survival multiplies misses over DISTINCT predicates:
+	// queries sharing an identical predicate select the same tuples, so
+	// counting the predicate once keeps the union (and the per-query
+	// divergence signal downstream) correct.
+	unionMiss := 1.0
+	anyPass := false
+	seenPred := make(map[string]bool, len(s.op.Preds))
+	for _, q := range s.op.Queries.Members() {
+		inQ := in.Gross
+		if v, ok := in.PerQuery[q]; ok {
+			inQ = v
+		}
+		sel := 1.0
+		if pred, ok := s.op.Preds[q]; ok {
+			sel = expr.Selectivity(pred, stats)
+			canon := expr.Canon(pred)
+			if !seenPred[canon] {
+				seenPred[canon] = true
+				unionMiss *= 1 - sel
+			}
+		} else {
+			anyPass = true
+		}
+		out.PerQuery[q] = inQ * sel
+	}
+	unionSel := 1.0
+	if !anyPass {
+		unionSel = 1 - unionMiss
+	}
+	out.Gross = in.Gross * unionSel
+	out.Net = in.Net * unionSel
+	return out
+}
+
+// stepFilterLike models scans (and any pass-through with markers).
+func (s *opSim) stepFilterLike(in Profile, schema []plan.Field, isScan bool) (Profile, float64) {
+	out := s.applyPreds(in)
+	work := in.Gross + out.Gross
+	return out, work
+}
+
+func (s *opSim) stepProject(in Profile) (Profile, float64) {
+	out := s.applyPreds(in)
+	// Projection rewrites columns; derive output stats per expression.
+	out.Cols = projectCols(s.op.Exprs, in.Cols, out.Net)
+	work := in.Gross + out.Gross
+	return out, work
+}
+
+func projectCols(exprs []plan.NamedExpr, in []catalog.ColumnStats, n float64) []catalog.ColumnStats {
+	out := make([]catalog.ColumnStats, len(exprs))
+	for i, ne := range exprs {
+		if c, ok := ne.E.(*expr.Column); ok && c.Index < len(in) {
+			out[i] = in[c.Index]
+			continue
+		}
+		out[i] = catalog.ColumnStats{Distinct: n}
+	}
+	return out
+}
+
+func (s *opSim) stepJoin(l, r Profile) (Profile, float64) {
+	// Key distinct estimates refresh with arrived data. Composite keys
+	// multiply per-column distincts, capped by the side's row count.
+	if len(s.op.LeftKeys) > 0 {
+		s.leftKeyDist = compositeDistinct(s.op.LeftKeys, l.Cols, s.leftNet+l.Net)
+		s.rightKeyDist = compositeDistinct(s.op.RightKeys, r.Cols, s.rightNet+r.Net)
+	} else {
+		s.leftKeyDist, s.rightKeyDist = 1, 1
+	}
+	d := s.leftKeyDist
+	if s.rightKeyDist > d {
+		d = s.rightKeyDist
+	}
+	if d < 1 {
+		d = 1
+	}
+	sel := 1 / d
+
+	work := l.Gross + r.Gross // tuples
+	work += l.Gross + r.Gross // state updates
+
+	out := Profile{PerQuery: make(map[int]float64)}
+	for _, q := range s.op.Queries.Members() {
+		lq := grossFor(l, q)
+		rq := grossFor(r, q)
+		lState := s.leftState[q]
+		rState := s.rightState[q]
+		// ΔL ⋈ R_old + (L_old + ΔL) ⋈ ΔR.
+		matches := lq*rState*sel + (lState+lq)*rq*sel
+		out.PerQuery[q] = matches
+	}
+	lU, rU := l.Gross, r.Gross
+	lStateU, rStateU := s.leftNetGrossState(), s.rightNetGrossState()
+	union := lU*rStateU*sel + (lStateU+lU)*rU*sel
+	out.Gross = union
+	work += union // outputs
+
+	// Update state with net arrivals; the output's net increment is the
+	// derivative of Ln·Rn·sel: ΔLn·Rn_old + Ln_new·ΔRn.
+	for _, q := range s.op.Queries.Members() {
+		s.leftState.add(q, grossFor(l, q)*(1-2*l.DeleteShare))
+		s.rightState.add(q, grossFor(r, q)*(1-2*r.DeleteShare))
+	}
+	netInc := (l.Net*s.rightNet + (s.leftNet+l.Net)*r.Net) * sel
+	s.leftNet += l.Net
+	s.rightNet += r.Net
+
+	out.Net = netInc
+	out.DeleteShare = combineDeleteShare(l.DeleteShare, r.DeleteShare)
+	out.Cols = append(append([]catalog.ColumnStats{}, l.Cols...), r.Cols...)
+	return out, work
+}
+
+func (s *opSim) leftNetGrossState() float64  { return s.leftNet }
+func (s *opSim) rightNetGrossState() float64 { return s.rightNet }
+
+// compositeDistinct estimates the distinct count of a multi-column join
+// key: the product of per-column distincts, capped by the number of rows.
+func compositeDistinct(keys []expr.Expr, cols []catalog.ColumnStats, n float64) float64 {
+	d := 1.0
+	for _, k := range keys {
+		d *= distinctOf(k, cols, n)
+		if d >= n {
+			break
+		}
+	}
+	if n >= 1 && d > n {
+		d = n
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func grossFor(p Profile, q int) float64 {
+	if v, ok := p.PerQuery[q]; ok {
+		return v
+	}
+	return p.Gross
+}
+
+// combineDeleteShare: a join output delta is a delete when exactly one of
+// the contributing deltas is a delete.
+func combineDeleteShare(a, b float64) float64 {
+	return a*(1-b) + b*(1-a)
+}
+
+func (s *opSim) stepAgg(in Profile) (Profile, float64) {
+	if s.groupDomain == 0 {
+		s.groupDomain = groupDomain(s.op.GroupBy, in.Cols)
+	}
+	work := in.Gross // tuples
+	// Accumulator updates: one per valid query bit per aggregate.
+	avgBits := in.avgBits(s.op.Queries)
+	work += in.Gross * avgBits * float64(maxInt(1, len(s.op.Aggs)))
+
+	// MIN/MAX rescans on deletions.
+	hasExtremum := false
+	for _, a := range s.op.Aggs {
+		if !a.Func.Incremental() {
+			hasExtremum = true
+		}
+	}
+	deletes := in.Gross * in.DeleteShare
+	groupsNow := drawnDistinct(s.groupDomain, s.arrivedAll+in.Gross)
+	if hasExtremum && deletes > 0 {
+		valsPerGroup := 1.0
+		if groupsNow > 0 {
+			valsPerGroup = maxf(1, s.netState/groupsNow)
+		}
+		hits := deletes
+		if hits > groupsNow {
+			hits = groupsNow
+		}
+		work += hits * valsPerGroup * maxDeleteHitFraction
+	}
+
+	// Affected groups this execution.
+	groupsBefore := drawnDistinct(s.groupDomain, s.arrivedAll)
+	inserts := in.Gross * (1 - in.DeleteShare)
+	affected := drawnDistinct(groupsNow, in.Gross)
+	newGroups := groupsNow - groupsBefore
+	if newGroups < 0 {
+		newGroups = 0
+	}
+	if newGroups > affected {
+		newGroups = affected
+	}
+	// Queries that aggregate different subsets of the input (divergent
+	// marker predicates upstream) accumulate different values, so the
+	// shared aggregate emits one output row per value class instead of one
+	// row carrying all bits — the extra work a shared aggregate does over
+	// the individual aggregates (paper §5.4).
+	classes := s.valueClasses(in)
+	// Changed groups retract the old row and emit the new one; new groups
+	// emit one row — per value class.
+	baseOut := (affected-newGroups)*2 + newGroups
+	outGross := baseOut * classes
+
+	out := Profile{
+		Gross: outGross,
+		// The net increment of an aggregate's output is its newly created
+		// groups; changed groups retract and re-emit, netting zero.
+		Net:      newGroups,
+		PerQuery: make(map[int]float64),
+	}
+	if outGross > 0 {
+		out.DeleteShare = (affected - newGroups) / outGross
+	}
+	for _, q := range s.op.Queries.Members() {
+		arrivedQ := s.arrived[q] + grossFor(in, q)
+		s.arrived[q] = arrivedQ
+		gq := drawnDistinct(s.groupDomain, arrivedQ)
+		share := 0.0
+		if groupsNow > 0 {
+			share = clamp01(gq / groupsNow)
+		}
+		// A query's own delta stream is single-class.
+		out.PerQuery[q] = baseOut * share
+		s.groupsPrev[q] = gq
+	}
+	s.arrivedAll += in.Gross
+	s.netState += inserts - deletes
+
+	work += outGross // output tuples
+	out.Cols = aggCols(s.op, in.Cols, groupsNow)
+	_ = inserts
+	return out, work
+}
+
+// valueClasses estimates how many distinct per-query value classes the
+// aggregate's output rows fall into. Queries that aggregate the same tuples
+// produce identical values and cluster into one output row; queries over
+// disjoint subsets each need their own row. The estimate interpolates on
+// the overlap of the queries' input shares: with n live queries whose
+// shares of the union sum to S, full overlap (S = n) gives one class and
+// pairwise-disjoint inputs (S = 1) give n classes.
+func (s *opSim) valueClasses(in Profile) float64 {
+	members := s.op.Queries.Members()
+	if len(members) <= 1 {
+		return 1
+	}
+	total := s.arrivedAll + in.Gross
+	if total <= 0 {
+		return 1
+	}
+	live := 0
+	sumShares := 0.0
+	for _, q := range members {
+		arrivedQ := s.arrived[q] + grossFor(in, q)
+		if arrivedQ <= 0 {
+			continue
+		}
+		live++
+		sumShares += clamp01(arrivedQ / total)
+	}
+	if live <= 1 {
+		return 1
+	}
+	overlap := clamp01((sumShares - 1) / float64(live-1))
+	return float64(live) - overlap*float64(live-1)
+}
+
+func groupDomain(groups []plan.NamedExpr, cols []catalog.ColumnStats) float64 {
+	if len(groups) == 0 {
+		return 1
+	}
+	d := 1.0
+	for _, g := range groups {
+		gd := 1000.0
+		if c, ok := g.E.(*expr.Column); ok && c.Index < len(cols) && cols[c.Index].Distinct > 0 {
+			gd = cols[c.Index].Distinct
+		}
+		d *= gd
+		if d > 1e12 {
+			return 1e12
+		}
+	}
+	return d
+}
+
+func aggCols(op *mqo.Op, in []catalog.ColumnStats, groups float64) []catalog.ColumnStats {
+	out := make([]catalog.ColumnStats, 0, len(op.GroupBy)+len(op.Aggs))
+	for _, g := range op.GroupBy {
+		if c, ok := g.E.(*expr.Column); ok && c.Index < len(in) {
+			st := in[c.Index]
+			st.Distinct = minf(st.Distinct, groups)
+			out = append(out, st)
+			continue
+		}
+		out = append(out, catalog.ColumnStats{Distinct: groups})
+	}
+	for range op.Aggs {
+		out = append(out, catalog.ColumnStats{Distinct: groups, Min: value.Null, Max: value.Null})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b || b <= 0 {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package decompose
+
+import (
+	"testing"
+
+	"ishare/internal/mqo"
+	"ishare/internal/pace"
+)
+
+func TestSharingBenefitConsistentWithCluster(t *testing.T) {
+	g, m := sharedGraph(t, q15Pair(t, testCatalog(t)))
+	s := findShared(t, g)
+	batch, err := m.Evaluate(pace.Ones(len(g.Subplans)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := batch.SubFinal[s.ID] * 0.1
+	lp := newLocalProblem(t, m, s, map[int]float64{0: tight, 1: tight}, 50)
+	a := lp.SelectedPace(mqo.Bit(0), 1)
+	b := lp.SelectedPace(mqo.Bit(1), 1)
+	benefit := lp.SharingBenefit(a, b)
+	merged := lp.SelectedPace(mqo.Bit(0).Union(mqo.Bit(1)), maxInt(a.Pace, b.Pace))
+	want := a.Total + b.Total - merged.Total
+	if benefit != want {
+		t.Errorf("SharingBenefit = %v, want %v", benefit, want)
+	}
+	// Eq. 4 symmetry.
+	if got := lp.SharingBenefit(b, a); got != benefit {
+		t.Errorf("benefit not symmetric: %v vs %v", got, benefit)
+	}
+}
+
+func TestRestrictDropsOtherQueriesPredicates(t *testing.T) {
+	g, m := sharedGraph(t, q15Pair(t, testCatalog(t)))
+	s := findShared(t, g)
+	lp := newLocalProblem(t, m, s, map[int]float64{0: 1e12, 1: 1e12}, 10)
+	sub, inputs := lp.restrict(mqo.Bit(0))
+	if !sub.Queries.Has(0) || sub.Queries.Has(1) {
+		t.Errorf("restricted queries = %s", sub.Queries)
+	}
+	for _, o := range sub.Ops {
+		if o.Queries.Has(1) {
+			t.Errorf("op %d retains excluded query", o.ID)
+		}
+		if _, ok := o.Preds[1]; ok {
+			t.Errorf("op %d retains excluded predicate", o.ID)
+		}
+		if _, ok := inputs[o]; !ok && o.Kind == mqo.KindScan {
+			t.Errorf("scan %d lost its input profile", o.ID)
+		}
+	}
+	// The original subplan is untouched.
+	for _, o := range s.Ops {
+		if !o.Queries.Has(1) {
+			t.Error("restrict mutated the original subplan")
+		}
+	}
+}
+
+func TestRestrictedSimulationCheaper(t *testing.T) {
+	// A single partition processes the same input but drops the other
+	// query's tuples early: its cost must be below the merged subplan's
+	// at the same pace.
+	g, m := sharedGraph(t, q15Pair(t, testCatalog(t)))
+	s := findShared(t, g)
+	lp := newLocalProblem(t, m, s, map[int]float64{0: 1e12, 1: 1e12}, 10)
+	single := lp.simulate(mqo.Bit(0), 4)
+	merged := lp.simulate(s.Queries, 4)
+	if single.PrivateTotal >= merged.PrivateTotal {
+		t.Errorf("restricted copy %.0f not cheaper than merged %.0f",
+			single.PrivateTotal, merged.PrivateTotal)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Package delta defines the tuples flowing through the shared incremental
+// engine: rows annotated with a query-validity bitvector (SharedDB) and an
+// insert/delete sign (incremental view maintenance). Updates are modeled as
+// a delete plus an insert.
+package delta
+
+import (
+	"fmt"
+
+	"ishare/internal/mqo"
+	"ishare/internal/value"
+)
+
+// Sign marks a tuple as an insertion or a deletion.
+type Sign int8
+
+// Tuple signs.
+const (
+	Insert Sign = 1
+	Delete Sign = -1
+)
+
+// String renders the sign as "+" or "-".
+func (s Sign) String() string {
+	if s == Delete {
+		return "-"
+	}
+	return "+"
+}
+
+// Tuple is one change record.
+type Tuple struct {
+	// Row holds the column values.
+	Row value.Row
+	// Bits says which queries the tuple is valid for.
+	Bits mqo.Bitset
+	// Sign distinguishes insertions from deletions.
+	Sign Sign
+}
+
+// String renders the tuple for diagnostics.
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s%s%s", t.Sign, t.Bits, t.Row)
+}
+
+// Apply folds a stream of deltas into a multiset of rows, returning the net
+// row counts keyed by value.Key. It is the reference semantics used to
+// check that incremental execution converges to batch results.
+func Apply(tuples []Tuple, q int) map[string]int {
+	counts := make(map[string]int)
+	rows := make(map[string]value.Row)
+	for _, t := range tuples {
+		if q >= 0 && !t.Bits.Has(q) {
+			continue
+		}
+		k := value.Key(t.Row)
+		counts[k] += int(t.Sign)
+		rows[k] = t.Row
+		if counts[k] == 0 {
+			delete(counts, k)
+		}
+	}
+	return counts
+}
+
+// Materialize returns the net rows (with multiplicity) for query q, or for
+// all queries when q is negative. Row order is unspecified.
+func Materialize(tuples []Tuple, q int) []value.Row {
+	counts := make(map[string]int)
+	rows := make(map[string]value.Row)
+	for _, t := range tuples {
+		if q >= 0 && !t.Bits.Has(q) {
+			continue
+		}
+		k := value.Key(t.Row)
+		counts[k] += int(t.Sign)
+		rows[k] = t.Row
+	}
+	var out []value.Row
+	for k, n := range counts {
+		for i := 0; i < n; i++ {
+			out = append(out, rows[k])
+		}
+	}
+	return out
+}

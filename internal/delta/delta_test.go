@@ -1,0 +1,70 @@
+package delta
+
+import (
+	"testing"
+
+	"ishare/internal/mqo"
+	"ishare/internal/value"
+)
+
+func row(v int64) value.Row { return value.Row{value.Int(v)} }
+
+func TestSignString(t *testing.T) {
+	if Insert.String() != "+" || Delete.String() != "-" {
+		t.Error("sign rendering wrong")
+	}
+}
+
+func TestApplyNetsOut(t *testing.T) {
+	ts := []Tuple{
+		{Row: row(1), Bits: mqo.Bit(0), Sign: Insert},
+		{Row: row(1), Bits: mqo.Bit(0), Sign: Insert},
+		{Row: row(1), Bits: mqo.Bit(0), Sign: Delete},
+		{Row: row(2), Bits: mqo.Bit(0), Sign: Insert},
+		{Row: row(2), Bits: mqo.Bit(0), Sign: Delete},
+	}
+	counts := Apply(ts, 0)
+	if len(counts) != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	for _, n := range counts {
+		if n != 1 {
+			t.Errorf("count = %d, want 1", n)
+		}
+	}
+}
+
+func TestApplyFiltersByQuery(t *testing.T) {
+	ts := []Tuple{
+		{Row: row(1), Bits: mqo.Bit(0), Sign: Insert},
+		{Row: row(2), Bits: mqo.Bit(1), Sign: Insert},
+		{Row: row(3), Bits: mqo.Bit(0).Union(mqo.Bit(1)), Sign: Insert},
+	}
+	if got := len(Apply(ts, 0)); got != 2 {
+		t.Errorf("q0 rows = %d", got)
+	}
+	if got := len(Apply(ts, 1)); got != 2 {
+		t.Errorf("q1 rows = %d", got)
+	}
+	if got := len(Apply(ts, -1)); got != 3 {
+		t.Errorf("all rows = %d", got)
+	}
+}
+
+func TestMaterializeMultiplicity(t *testing.T) {
+	ts := []Tuple{
+		{Row: row(7), Bits: mqo.Bit(0), Sign: Insert},
+		{Row: row(7), Bits: mqo.Bit(0), Sign: Insert},
+	}
+	rows := Materialize(ts, 0)
+	if len(rows) != 2 {
+		t.Errorf("multiplicity lost: %v", rows)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := Tuple{Row: row(5), Bits: mqo.Bit(2), Sign: Delete}
+	if got := tup.String(); got != "-{2}5" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,285 @@
+package exec
+
+import (
+	"ishare/internal/delta"
+	"ishare/internal/mqo"
+	"ishare/internal/plan"
+	"ishare/internal/value"
+	"sort"
+)
+
+// aggExec is an incremental shared hash aggregate. Groups are hashed once
+// for all sharing queries; each group keeps one accumulator set per query so
+// tuples valid for only a subset of queries (marked upstream) contribute
+// only to those queries' results. When a group's aggregates change, the
+// operator retracts its previously emitted output rows (delete deltas) and
+// emits the updated rows — the eager-execution overhead at the center of the
+// paper. Retracting the current MIN/MAX extremum forces a rescan of the
+// group's value multiset, whose cost is what makes such queries (Q15)
+// non-incrementable.
+type aggExec struct {
+	op     *mqo.Op
+	groups map[string]*groupState
+}
+
+func newAggExec(op *mqo.Op) *aggExec {
+	return &aggExec{op: op, groups: make(map[string]*groupState)}
+}
+
+type groupState struct {
+	keyRow   value.Row
+	perQuery map[int]*queryAcc
+	lastOut  []delta.Tuple
+}
+
+type queryAcc struct {
+	// n counts contributing input tuples; the group exists for the query
+	// while n > 0.
+	n    int64
+	accs []accum
+}
+
+type accum struct {
+	count int64
+	sum   float64
+	// vals is the value multiset kept for MIN/MAX retraction.
+	vals  map[float64]int64
+	cur   float64
+	curOK bool
+}
+
+// update applies one value with the given sign; it returns extra rescan work
+// (the size of the value multiset scanned after an extremum retraction).
+func (a *accum) update(spec plan.AggSpec, v value.Value, sign delta.Sign) int64 {
+	s := int64(sign)
+	switch spec.Func {
+	case plan.AggCount:
+		if spec.Arg == nil || !v.IsNull() {
+			a.count += s
+		}
+		return 0
+	case plan.AggSum, plan.AggAvg:
+		if v.IsNull() {
+			return 0
+		}
+		a.count += s
+		a.sum += float64(s) * v.AsFloat()
+		return 0
+	case plan.AggMin, plan.AggMax:
+		if v.IsNull() {
+			return 0
+		}
+		if a.vals == nil {
+			a.vals = make(map[float64]int64)
+		}
+		f := v.AsFloat()
+		a.count += s
+		a.vals[f] += s
+		if a.vals[f] == 0 {
+			delete(a.vals, f)
+		}
+		if sign == delta.Insert {
+			if !a.curOK || better(spec.Func, f, a.cur) {
+				a.cur, a.curOK = f, true
+			}
+			return 0
+		}
+		// Deletion: if the current extremum was retracted, rescan.
+		if a.curOK && f == a.cur && a.vals[f] == 0 {
+			rescan := int64(len(a.vals))
+			a.curOK = false
+			for v2 := range a.vals {
+				if !a.curOK || better(spec.Func, v2, a.cur) {
+					a.cur, a.curOK = v2, true
+				}
+			}
+			return rescan
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+func better(f plan.AggFunc, a, b float64) bool {
+	if f == plan.AggMin {
+		return a < b
+	}
+	return a > b
+}
+
+// result returns the accumulator's current value.
+func (a *accum) result(spec plan.AggSpec) value.Value {
+	switch spec.Func {
+	case plan.AggCount:
+		return value.Int(a.count)
+	case plan.AggSum:
+		if a.count == 0 {
+			return value.Null
+		}
+		if spec.ResultKind() == value.KindInt {
+			return value.Int(int64(a.sum))
+		}
+		return value.Float(a.sum)
+	case plan.AggAvg:
+		if a.count == 0 {
+			return value.Null
+		}
+		return value.Float(a.sum / float64(a.count))
+	case plan.AggMin, plan.AggMax:
+		if !a.curOK {
+			return value.Null
+		}
+		if spec.ResultKind() == value.KindInt {
+			return value.Int(int64(a.cur))
+		}
+		return value.Float(a.cur)
+	default:
+		return value.Null
+	}
+}
+
+func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
+	var w Work
+	dirty := make(map[string]*groupState)
+
+	for _, t := range in[0] {
+		w.Tuples++
+		bits := t.Bits.Intersect(g.op.Queries)
+		if bits.Empty() {
+			continue
+		}
+		// Group key.
+		keyRow := make(value.Row, len(g.op.GroupBy))
+		for i, ge := range g.op.GroupBy {
+			keyRow[i] = ge.E.Eval(t.Row)
+		}
+		key := value.Key(keyRow)
+		gs, ok := g.groups[key]
+		if !ok {
+			gs = &groupState{keyRow: keyRow, perQuery: make(map[int]*queryAcc)}
+			g.groups[key] = gs
+		}
+		dirty[key] = gs
+		// Evaluate aggregate arguments once per tuple.
+		args := make([]value.Value, len(g.op.Aggs))
+		for i, spec := range g.op.Aggs {
+			if spec.Arg != nil {
+				args[i] = spec.Arg.Eval(t.Row)
+			}
+		}
+		for _, q := range bits.Members() {
+			qa, ok := gs.perQuery[q]
+			if !ok {
+				qa = &queryAcc{accs: make([]accum, len(g.op.Aggs))}
+				gs.perQuery[q] = qa
+			}
+			qa.n += int64(t.Sign)
+			for i, spec := range g.op.Aggs {
+				w.State++
+				w.Rescan += qa.accs[i].update(spec, args[i], t.Sign)
+			}
+		}
+	}
+
+	// Emit retractions and updated rows for every dirty group, in sorted
+	// key order so execution work is deterministic (map iteration order
+	// would otherwise vary the processing order of downstream deletes and
+	// with it the MIN/MAX rescan count).
+	keys := make([]string, 0, len(dirty))
+	for key := range dirty {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var out []delta.Tuple
+	for _, key := range keys {
+		gs := dirty[key]
+		newOut := g.groupOutput(gs)
+		if sameTuples(gs.lastOut, newOut) {
+			continue
+		}
+		for _, t := range gs.lastOut {
+			out = append(out, delta.Tuple{Row: t.Row, Bits: t.Bits, Sign: delta.Delete})
+			w.Output++
+		}
+		for _, t := range newOut {
+			out = append(out, t)
+			w.Output++
+		}
+		gs.lastOut = newOut
+		if len(newOut) == 0 && groupDead(gs) {
+			delete(g.groups, key)
+		}
+	}
+	return out, w
+}
+
+// groupOutput computes the group's current output rows: queries with equal
+// aggregate values cluster into one tuple carrying their combined bits.
+func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
+	type clustered struct {
+		row  value.Row
+		bits mqo.Bitset
+	}
+	var clusters []clustered
+	byKey := make(map[string]int)
+	for _, q := range g.op.Queries.Members() {
+		qa, ok := gs.perQuery[q]
+		if !ok || qa.n <= 0 {
+			continue
+		}
+		row := make(value.Row, 0, len(gs.keyRow)+len(g.op.Aggs))
+		row = append(row, gs.keyRow...)
+		for i, spec := range g.op.Aggs {
+			row = append(row, qa.accs[i].result(spec))
+		}
+		k := value.Key(row)
+		if idx, ok := byKey[k]; ok {
+			clusters[idx].bits = clusters[idx].bits.With(q)
+			continue
+		}
+		byKey[k] = len(clusters)
+		clusters = append(clusters, clustered{row: row, bits: mqo.Bit(q)})
+	}
+	var out []delta.Tuple
+	for _, c := range clusters {
+		bits := applyMarkers(g.op, c.row, c.bits)
+		if bits.Empty() {
+			continue
+		}
+		out = append(out, delta.Tuple{Row: c.row, Bits: bits, Sign: delta.Insert})
+	}
+	return out
+}
+
+func groupDead(gs *groupState) bool {
+	for _, qa := range gs.perQuery {
+		if qa.n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sameTuples reports whether two emissions contain the same (row, bits)
+// multisets.
+func sameTuples(a, b []delta.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, t := range a {
+		counts[value.Key(t.Row)+t.Bits.String()]++
+	}
+	for _, t := range b {
+		k := value.Key(t.Row) + t.Bits.String()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stateSize returns the number of live groups.
+func (g *aggExec) stateSize() int64 { return int64(len(g.groups)) }

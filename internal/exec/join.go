@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"ishare/internal/delta"
+	"ishare/internal/expr"
+	"ishare/internal/mqo"
+	"ishare/internal/value"
+)
+
+// joinExec is a symmetric hash join over delta streams. Both sides keep a
+// multiset hash table of arrived tuples; each incoming delta updates its own
+// side and probes the other, producing
+//
+//	Δ(L⋈R) = ΔL ⋈ R_old  ∪  (L_old + ΔL) ⋈ ΔR,
+//
+// with output sign the product of the delta's sign and the matched tuples'
+// (positive) multiplicity, and output bits the intersection of both sides'
+// bits restricted to the operator's query set. An empty key list is a cross
+// join: every tuple lands in one bucket.
+type joinExec struct {
+	op          *mqo.Op
+	left, right *joinSide
+}
+
+func newJoinExec(op *mqo.Op) *joinExec {
+	return &joinExec{
+		op:    op,
+		left:  newJoinSide(op.LeftKeys),
+		right: newJoinSide(op.RightKeys),
+	}
+}
+
+// joinSide is one side's state.
+type joinSide struct {
+	keys    []expr.Expr
+	buckets map[uint64][]*joinEntry
+	size    int64
+}
+
+func newJoinSide(keys []expr.Expr) *joinSide {
+	return &joinSide{keys: keys, buckets: make(map[uint64][]*joinEntry)}
+}
+
+// joinEntry is one distinct (row, bits) with a net multiplicity.
+type joinEntry struct {
+	key   value.Row
+	row   value.Row
+	bits  mqo.Bitset
+	count int
+}
+
+// keyOf evaluates the side's key expressions. ok is false when any key value
+// is NULL (NULL never equi-joins).
+func (s *joinSide) keyOf(row value.Row) (value.Row, uint64, bool) {
+	key := make(value.Row, len(s.keys))
+	for i, e := range s.keys {
+		v := e.Eval(row)
+		if v.IsNull() {
+			return nil, 0, false
+		}
+		key[i] = v
+	}
+	return key, value.HashRow(key), true
+}
+
+// update applies a delta to the side's multiset and returns the state work.
+func (s *joinSide) update(t delta.Tuple, key value.Row, h uint64) int64 {
+	bucket := s.buckets[h]
+	for _, e := range bucket {
+		if e.bits == t.Bits && e.row.Equal(t.Row) {
+			e.count += int(t.Sign)
+			if e.count == 0 {
+				s.remove(h, e)
+			}
+			return 1
+		}
+	}
+	if t.Sign == delta.Delete {
+		// Deleting a tuple that was never inserted: record a negative
+		// entry so a late matching insert cancels it. This keeps the
+		// multiset algebra closed under any delta order.
+		s.buckets[h] = append(bucket, &joinEntry{key: key, row: t.Row, bits: t.Bits, count: -1})
+		s.size++
+		return 1
+	}
+	s.buckets[h] = append(bucket, &joinEntry{key: key, row: t.Row, bits: t.Bits, count: 1})
+	s.size++
+	return 1
+}
+
+func (s *joinSide) remove(h uint64, e *joinEntry) {
+	bucket := s.buckets[h]
+	for i, x := range bucket {
+		if x == e {
+			bucket[i] = bucket[len(bucket)-1]
+			s.buckets[h] = bucket[:len(bucket)-1]
+			s.size--
+			if len(s.buckets[h]) == 0 {
+				delete(s.buckets, h)
+			}
+			return
+		}
+	}
+}
+
+// probe matches a delta against this side's current state, emitting joined
+// tuples via emit(otherRow, bits, count).
+func (s *joinSide) probe(key value.Row, h uint64, emit func(*joinEntry)) {
+	for _, e := range s.buckets[h] {
+		if e.key.Equal(key) {
+			emit(e)
+		}
+	}
+}
+
+func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
+	var w Work
+	var out []delta.Tuple
+
+	concat := func(l, r value.Row) value.Row {
+		row := make(value.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		return row
+	}
+	emit := func(row value.Row, bits mqo.Bitset, sign delta.Sign, count int) {
+		bits = bits.Intersect(j.op.Queries)
+		if bits.Empty() || count == 0 {
+			return
+		}
+		bits = applyMarkers(j.op, row, bits)
+		if bits.Empty() {
+			return
+		}
+		n, s := count, sign
+		if n < 0 {
+			n, s = -n, -s
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, delta.Tuple{Row: row, Bits: bits, Sign: s})
+			w.Output++
+		}
+	}
+
+	// Phase 1: left deltas update left state and probe the right state
+	// before the right batch is applied.
+	for _, t := range in[0] {
+		w.Tuples++
+		bits := t.Bits.Intersect(j.op.Queries)
+		if bits.Empty() {
+			continue
+		}
+		key, h, ok := j.left.keyOf(t.Row)
+		if !ok {
+			continue
+		}
+		w.State += j.left.update(delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}, key, h)
+		j.right.probe(key, h, func(e *joinEntry) {
+			emit(concat(t.Row, e.row), bits.Intersect(e.bits), t.Sign, e.count)
+		})
+	}
+	// Phase 2: right deltas update right state and probe the left state
+	// including the tuples just added.
+	for _, t := range in[1] {
+		w.Tuples++
+		bits := t.Bits.Intersect(j.op.Queries)
+		if bits.Empty() {
+			continue
+		}
+		key, h, ok := j.right.keyOf(t.Row)
+		if !ok {
+			continue
+		}
+		w.State += j.right.update(delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}, key, h)
+		j.left.probe(key, h, func(e *joinEntry) {
+			emit(concat(e.row, t.Row), bits.Intersect(e.bits), t.Sign, e.count)
+		})
+	}
+	return out, w
+}
+
+// stateSize returns the number of distinct entries held on both sides.
+func (j *joinExec) stateSize() int64 { return j.left.size + j.right.size }

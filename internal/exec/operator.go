@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"ishare/internal/delta"
+	"ishare/internal/mqo"
+	"ishare/internal/value"
+)
+
+// operator is a stateful physical operator. process consumes one batch of
+// deltas per child and returns the output deltas plus the work done.
+type operator interface {
+	process(in [][]delta.Tuple) ([]delta.Tuple, Work)
+}
+
+// applyMarkers evaluates the operator's per-query marker predicates against
+// the tuple's row and clears the bits of queries whose predicate fails
+// (SharedDB σ* semantics: marking never drops a tuple another query needs).
+// It returns the surviving bits.
+func applyMarkers(op *mqo.Op, row value.Row, bits mqo.Bitset) mqo.Bitset {
+	for q, pred := range op.Preds {
+		if bits.Has(q) && !pred.Eval(row).Truth() {
+			bits = bits.Minus(mqo.Bit(q))
+		}
+	}
+	return bits
+}
+
+// newOperator instantiates the physical operator for a shared-plan node.
+func newOperator(op *mqo.Op) operator {
+	switch op.Kind {
+	case mqo.KindScan:
+		return &scanExec{op: op}
+	case mqo.KindProject:
+		return &projectExec{op: op}
+	case mqo.KindJoin:
+		return newJoinExec(op)
+	case mqo.KindAggregate:
+		return newAggExec(op)
+	default:
+		panic("exec: unknown operator kind")
+	}
+}
+
+// scanExec stamps base-table deltas with the scan's query set and applies
+// its marker predicates.
+type scanExec struct {
+	op *mqo.Op
+}
+
+func (s *scanExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
+	var w Work
+	var out []delta.Tuple
+	for _, t := range in[0] {
+		w.Tuples++
+		bits := applyMarkers(s.op, t.Row, s.op.Queries)
+		if bits.Empty() {
+			continue
+		}
+		out = append(out, delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign})
+	}
+	w.Output += int64(len(out))
+	return out, w
+}
+
+// projectExec evaluates the projection list per tuple.
+type projectExec struct {
+	op *mqo.Op
+}
+
+func (p *projectExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
+	var w Work
+	var out []delta.Tuple
+	for _, t := range in[0] {
+		w.Tuples++
+		bits := t.Bits.Intersect(p.op.Queries)
+		if bits.Empty() {
+			continue
+		}
+		row := make(value.Row, len(p.op.Exprs))
+		for i, ne := range p.op.Exprs {
+			row[i] = ne.E.Eval(t.Row)
+		}
+		bits = applyMarkers(p.op, row, bits)
+		if bits.Empty() {
+			continue
+		}
+		out = append(out, delta.Tuple{Row: row, Bits: bits, Sign: t.Sign})
+	}
+	w.Output += int64(len(out))
+	return out, w
+}

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunParallel executes the pace configuration like Run, but executes
+// independent subplans concurrently: at each arrival fraction, the due
+// subplans are grouped into dependency waves (children strictly before the
+// parents that consume their buffers) and each wave runs on a worker pool.
+// Work accounting and results are identical to the sequential Run — the
+// engine's work units are deterministic — only wall-clock time changes.
+// The paper's prototype similarly spreads each incremental execution over
+// its 20 cores.
+func (r *Runner) RunParallel(paces []int, workers int) (*Report, error) {
+	if len(paces) != len(r.Graph.Subplans) {
+		return nil, fmt.Errorf("exec: %d paces for %d subplans", len(paces), len(r.Graph.Subplans))
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var events []event
+	for i, p := range paces {
+		if p < 1 {
+			return nil, fmt.Errorf("exec: subplan %d has pace %d < 1", i, p)
+		}
+		for j := 1; j <= p; j++ {
+			events = append(events, event{sub: i, j: j, p: p})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].less(events[b]) })
+
+	// Subplan depth = 1 + max depth of children: subplans at the same
+	// depth never feed each other, so a depth level forms a wave.
+	depth := make([]int, len(r.Graph.Subplans))
+	for _, s := range r.Graph.Subplans { // children-first order
+		d := 0
+		for _, c := range s.Children {
+			if depth[c.ID]+1 > d {
+				d = depth[c.ID] + 1
+			}
+		}
+		depth[s.ID] = d
+	}
+
+	startTime := time.Now()
+	sameFraction := func(a, b event) bool { return a.j*b.p == b.j*a.p }
+	for start := 0; start < len(events); {
+		// Group events sharing the same arrival fraction.
+		end := start + 1
+		for end < len(events) && sameFraction(events[start], events[end]) {
+			end++
+		}
+		r.arriveUpTo(events[start].j, events[start].p)
+		// Partition the group into waves by depth and run each wave
+		// concurrently.
+		byDepth := map[int][]int{}
+		var depths []int
+		for _, e := range events[start:end] {
+			d := depth[e.sub]
+			if len(byDepth[d]) == 0 {
+				depths = append(depths, d)
+			}
+			byDepth[d] = append(byDepth[d], e.sub)
+		}
+		sort.Ints(depths)
+		for _, d := range depths {
+			runWave(r, byDepth[d], workers)
+		}
+		start = end
+	}
+
+	rep := &Report{
+		Paces:        append([]int(nil), paces...),
+		SubplanTotal: make([]int64, len(r.Execs)),
+		SubplanFinal: make([]int64, len(r.Execs)),
+		QueryFinal:   make([]int64, r.Graph.Plan.NumQueries()),
+		Wall:         time.Since(startTime),
+	}
+	for i, se := range r.Execs {
+		rep.SubplanTotal[i] = se.TotalWork().Total()
+		rep.SubplanFinal[i] = se.FinalWork().Total()
+		rep.TotalWork += rep.SubplanTotal[i]
+	}
+	for q := range rep.QueryFinal {
+		for _, s := range r.Graph.QuerySubplans(q) {
+			rep.QueryFinal[q] += rep.SubplanFinal[s.ID]
+		}
+	}
+	return rep, nil
+}
+
+func runWave(r *Runner, subs []int, workers int) {
+	if len(subs) == 1 {
+		r.Execs[subs[0]].RunOnce()
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, id := range subs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r.Execs[id].RunOnce()
+		}(id)
+	}
+	wg.Wait()
+}

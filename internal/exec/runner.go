@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ishare/internal/buffer"
+	"ishare/internal/delta"
+	"ishare/internal/mqo"
+	"ishare/internal/value"
+)
+
+// Dataset holds the rows that arrive for each base table during one trigger
+// window, in arrival order (insertions only; use DeltaDataset for streams
+// with deletions and updates).
+type Dataset map[string][]value.Row
+
+// DeltaDataset holds signed change streams per table: insertions and
+// deletions in arrival order. An update is modeled as a deletion of the old
+// row followed by an insertion of the new one, as in the paper (§2.3).
+type DeltaDataset map[string][]delta.Tuple
+
+// Runner executes a subplan graph over a dataset under a pace
+// configuration. A pace k for a subplan means k incremental executions, one
+// each time 1/k of the trigger window's data has arrived; pace 1 is batch
+// execution at the trigger point.
+type Runner struct {
+	Graph    *mqo.Graph
+	Data     DeltaDataset
+	Execs    []*SubplanExec
+	tables   map[string]*buffer.Log
+	appended map[string]int
+}
+
+// NewRunner builds fresh operator state, buffers and table logs for an
+// insert-only dataset.
+func NewRunner(g *mqo.Graph, data Dataset) (*Runner, error) {
+	deltas := make(DeltaDataset, len(data))
+	for name, rows := range data {
+		ts := make([]delta.Tuple, len(rows))
+		for i, row := range rows {
+			ts[i] = tupleFor(row)
+		}
+		deltas[name] = ts
+	}
+	return NewDeltaRunner(g, deltas)
+}
+
+// NewDeltaRunner builds a runner over signed change streams.
+func NewDeltaRunner(g *mqo.Graph, data DeltaDataset) (*Runner, error) {
+	r := &Runner{
+		Graph:    g,
+		Data:     data,
+		tables:   make(map[string]*buffer.Log),
+		appended: make(map[string]int),
+	}
+	// Every scanned table needs data (possibly empty).
+	for _, s := range g.Subplans {
+		for _, o := range s.Scans() {
+			name := o.Table.Name
+			if _, ok := r.tables[name]; !ok {
+				r.tables[name] = buffer.NewLog("table:" + name)
+			}
+		}
+	}
+	r.Execs = make([]*SubplanExec, len(g.Subplans))
+	for _, s := range g.Subplans { // children-first, so child execs exist
+		se, err := NewSubplanExec(g, s, r)
+		if err != nil {
+			return nil, err
+		}
+		r.Execs[s.ID] = se
+	}
+	return r, nil
+}
+
+// TableLog implements inputResolver.
+func (r *Runner) TableLog(name string) (*buffer.Log, error) {
+	log, ok := r.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("exec: no log for table %q", name)
+	}
+	return log, nil
+}
+
+// SubplanLog implements inputResolver.
+func (r *Runner) SubplanLog(s *mqo.Subplan) (*buffer.Log, error) {
+	se := r.Execs[s.ID]
+	if se == nil || se.Sub != s {
+		return nil, fmt.Errorf("exec: subplan %d has no executor yet", s.ID)
+	}
+	return se.Out, nil
+}
+
+// event is one scheduled incremental execution: subplan sub runs when j/p of
+// the window's data has arrived.
+type event struct {
+	sub  int
+	j, p int
+}
+
+// less orders events by arrival fraction (exact rational comparison), then
+// children-first by subplan id.
+func (e event) less(o event) bool {
+	l, r := e.j*o.p, o.j*e.p
+	if l != r {
+		return l < r
+	}
+	return e.sub < o.sub
+}
+
+// Report summarizes one run.
+type Report struct {
+	// Paces is the executed pace configuration, indexed by subplan id.
+	Paces []int
+	// SubplanTotal and SubplanFinal hold each subplan's total work across
+	// executions and the work of its final execution.
+	SubplanTotal []int64
+	SubplanFinal []int64
+	// TotalWork is the summed work of all incremental executions of all
+	// subplans — the paper's proxy for CPU consumption.
+	TotalWork int64
+	// QueryFinal maps query id to its final work: the summed final
+	// execution work of the subplans it participates in — the paper's
+	// proxy for query latency.
+	QueryFinal []int64
+	// Wall is the elapsed wall-clock time of the run.
+	Wall time.Duration
+}
+
+// Run executes the configured paces over the full dataset. It must be
+// called once per Runner; operator state is not reset between runs.
+func (r *Runner) Run(paces []int) (*Report, error) {
+	if len(paces) != len(r.Graph.Subplans) {
+		return nil, fmt.Errorf("exec: %d paces for %d subplans", len(paces), len(r.Graph.Subplans))
+	}
+	var events []event
+	for i, p := range paces {
+		if p < 1 {
+			return nil, fmt.Errorf("exec: subplan %d has pace %d < 1", i, p)
+		}
+		for j := 1; j <= p; j++ {
+			events = append(events, event{sub: i, j: j, p: p})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].less(events[b]) })
+
+	start := time.Now()
+	for _, e := range events {
+		r.arriveUpTo(e.j, e.p)
+		r.Execs[e.sub].RunOnce()
+	}
+	wall := time.Since(start)
+
+	rep := &Report{
+		Paces:        append([]int(nil), paces...),
+		SubplanTotal: make([]int64, len(r.Execs)),
+		SubplanFinal: make([]int64, len(r.Execs)),
+		QueryFinal:   make([]int64, r.Graph.Plan.NumQueries()),
+		Wall:         wall,
+	}
+	for i, se := range r.Execs {
+		rep.SubplanTotal[i] = se.TotalWork().Total()
+		rep.SubplanFinal[i] = se.FinalWork().Total()
+		rep.TotalWork += rep.SubplanTotal[i]
+	}
+	for q := range rep.QueryFinal {
+		for _, s := range r.Graph.QuerySubplans(q) {
+			rep.QueryFinal[q] += rep.SubplanFinal[s.ID]
+		}
+	}
+	return rep, nil
+}
+
+// arriveUpTo appends each table's deltas up to fraction j/p of its stream.
+func (r *Runner) arriveUpTo(j, p int) {
+	for name, log := range r.tables {
+		tuples := r.Data[name]
+		target := len(tuples) * j / p
+		from := r.appended[name]
+		if target > from {
+			log.Append(tuples[from:target]...)
+			r.appended[name] = target
+		}
+	}
+}
+
+// Results returns query q's current materialized result rows.
+func (r *Runner) Results(q int) []value.Row {
+	root := r.Graph.QueryRootSubplan[q]
+	return materialized(r.Execs[root.ID].Out, q)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"io"
+
+	"ishare/internal/cost"
+	"ishare/internal/mqo"
+	"ishare/internal/pace"
+	"ishare/internal/plan"
+)
+
+// AccuracyResult compares the cost model's batch estimates against the
+// measured engine per query — the cost-model inaccuracy the paper names as
+// the main source of missed latencies (§5.3), and the quantity the §3.2
+// calibration feedback corrects.
+type AccuracyResult struct {
+	Names    []string
+	Model    []float64
+	Measured []int64
+	// Ratio is Model/Measured per query.
+	Ratio []float64
+}
+
+// ModelAccuracy runs each of the 22 queries separately in batch and
+// tabulates modeled vs measured final work.
+func ModelAccuracy(cfg Config) (*AccuracyResult, error) {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, AllQueryNames(), false)
+	if err != nil {
+		return nil, err
+	}
+	res := &AccuracyResult{Names: w.Names, Measured: w.BatchFinal}
+	for _, q := range w.Queries {
+		m, err := singleModel(q)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := m.Evaluate(pace.Ones(len(m.Graph.Subplans)))
+		if err != nil {
+			return nil, err
+		}
+		res.Model = append(res.Model, ev.QueryFinal[0])
+	}
+	res.Ratio = make([]float64, len(res.Model))
+	for i := range res.Model {
+		if res.Measured[i] > 0 {
+			res.Ratio[i] = res.Model[i] / float64(res.Measured[i])
+		}
+	}
+	return res, nil
+}
+
+func singleModel(q plan.Query) (*cost.Model, error) {
+	sp, err := mqo.Build([]plan.Query{q})
+	if err != nil {
+		return nil, err
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		return nil, err
+	}
+	return cost.NewModel(g), nil
+}
+
+// WorstRatio returns the largest deviation from 1 in either direction.
+func (r *AccuracyResult) WorstRatio() float64 {
+	worst := 1.0
+	for _, v := range r.Ratio {
+		if v <= 0 {
+			continue
+		}
+		dev := v
+		if dev < 1 {
+			dev = 1 / dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+// Report prints the table.
+func (r *AccuracyResult) Report(w io.Writer) {
+	fprintf(w, "Cost-model accuracy: batch final work, model vs measured\n")
+	fprintf(w, "%-6s %12s %12s %8s\n", "query", "model", "measured", "ratio")
+	for i, n := range r.Names {
+		fprintf(w, "%-6s %12.0f %12d %8.2f\n", n, r.Model[i], r.Measured[i], r.Ratio[i])
+	}
+	fprintf(w, "worst deviation: %.2fx\n", r.WorstRatio())
+}

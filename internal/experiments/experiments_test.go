@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ishare/internal/opt"
+)
+
+// tinyCfg keeps experiment smoke tests fast.
+func tinyCfg() Config {
+	return Config{SF: 0.004, Seed: 5, MaxPace: 6, DNFBudget: 5 * time.Second}
+}
+
+func TestRandomRelDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := RandomRel(100, rng)
+	seen := map[float64]bool{}
+	for _, r := range rel {
+		seen[r] = true
+		if r != 1.0 && r != 0.5 && r != 0.2 && r != 0.1 {
+			t.Fatalf("unexpected rel %v", r)
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("draws not diverse: %v", seen)
+	}
+}
+
+func TestUniformRel(t *testing.T) {
+	rel := UniformRel(3, 0.2)
+	if len(rel) != 3 || rel[0] != 0.2 || rel[2] != 0.2 {
+		t.Errorf("UniformRel = %v", rel)
+	}
+}
+
+func TestAggregateMisses(t *testing.T) {
+	runs := []ApproachResult{
+		{MissAbs: []float64{0, 10}, MissRel: []float64{0, 0.5}},
+		{MissAbs: []float64{20, 0}, MissRel: []float64{1.0, 0}},
+	}
+	s := AggregateMisses(runs)
+	if s.MeanAbs != 7.5 || s.MaxAbs != 20 {
+		t.Errorf("abs stats = %+v", s)
+	}
+	if s.MeanRel != 0.375 || s.MaxRel != 1.0 {
+		t.Errorf("rel stats = %+v", s)
+	}
+}
+
+func TestWorkloadSmall(t *testing.T) {
+	w, err := NewWorkload(tinyCfg(), []string{"Q1", "Q6"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 || len(w.BatchFinal) != 2 {
+		t.Fatalf("workload = %d queries, %d baselines", len(w.Queries), len(w.BatchFinal))
+	}
+	for q, f := range w.BatchFinal {
+		if f <= 0 {
+			t.Errorf("batch final[%d] = %d", q, f)
+		}
+	}
+	runs, err := w.RunApproaches(UniformRel(2, 0.5), 6, DefaultApproaches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(DefaultApproaches) {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for _, r := range runs {
+		if r.TotalWork <= 0 {
+			t.Errorf("%s: total work %d", r.Approach, r.TotalWork)
+		}
+	}
+}
+
+func TestWorkloadWithVariants(t *testing.T) {
+	w, err := NewWorkload(tinyCfg(), []string{"Q15"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 {
+		t.Fatalf("variants missing: %d queries", len(w.Queries))
+	}
+	if w.Names[1] != "Q15v" {
+		t.Errorf("variant name = %q", w.Names[1])
+	}
+}
+
+func TestFigure16Smoke(t *testing.T) {
+	r, err := Figure16(tinyCfg(), []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Clustering) != 2 || len(r.BruteForce) != 2 {
+		t.Fatalf("series lengths wrong")
+	}
+	// Brute force enumerates strictly more splits from 3 queries on.
+	if r.BruteForceSims[1] <= r.ClusteringSims[1] {
+		t.Errorf("brute force sims %d not above clustering %d",
+			r.BruteForceSims[1], r.ClusteringSims[1])
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "Figure 16") {
+		t.Error("report header missing")
+	}
+}
+
+func TestFigure17PairC(t *testing.T) {
+	r, err := Figure17(tinyCfg(), "PairC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Names != [2]string{"QA", "QB"} {
+		t.Errorf("names = %v", r.Names)
+	}
+	if len(r.Total) != len(UniformRels) {
+		t.Fatalf("rows = %d", len(r.Total))
+	}
+	// iShare never does more work than Share-Uniform.
+	iIdx, sIdx := -1, -1
+	for j, a := range r.Approaches {
+		if a == opt.IShare {
+			iIdx = j
+		}
+		if a == opt.ShareUniform {
+			sIdx = j
+		}
+	}
+	for i := range r.Total {
+		if r.Total[i][iIdx] > r.Total[i][sIdx] {
+			t.Errorf("rel %.2f: iShare %d above Share-Uniform %d",
+				r.Rels[i], r.Total[i][iIdx], r.Total[i][sIdx])
+		}
+	}
+	if _, err := Figure17(tinyCfg(), "PairZ"); err == nil {
+		t.Error("unknown pair accepted")
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "PairC") {
+		t.Error("report header missing")
+	}
+}
+
+func TestFigure10Smoke(t *testing.T) {
+	cfg := tinyCfg()
+	r, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SharedTotal <= 0 || r.IndependentTotal <= 0 {
+		t.Fatalf("totals = %d / %d", r.SharedTotal, r.IndependentTotal)
+	}
+	if len(r.PerQueryIndependent) != 22 {
+		t.Errorf("per-query entries = %d", len(r.PerQueryIndependent))
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Error("report missing reduction")
+	}
+}
+
+func TestFigure15Smoke(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.DNFBudget = 2 * time.Second
+	r, err := Figure15(cfg, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WithMemo) != 1 || len(r.WithoutMemo) != 1 {
+		t.Fatal("series missing")
+	}
+	if r.WithMemo[0] == DNF {
+		t.Error("memoized run timed out at tiny scale")
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "maxpace") {
+		t.Error("report header missing")
+	}
+}

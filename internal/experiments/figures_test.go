@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ishare/internal/opt"
+)
+
+// microCfg is deliberately tiny: these tests exercise the drivers
+// end-to-end, not the paper-scale numbers.
+func microCfg() Config {
+	return Config{SF: 0.003, Seed: 2, MaxPace: 5, DNFBudget: 10 * time.Second}
+}
+
+func TestFigure9Driver(t *testing.T) {
+	r, err := Figure9(microCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 3 {
+		t.Fatalf("constraint sets = %d", len(r.Runs))
+	}
+	for i := range r.Approaches {
+		if r.Mean[i] <= 0 || r.Min[i] > r.Max[i] || r.Mean[i] < r.Min[i] || r.Mean[i] > r.Max[i] {
+			t.Errorf("%s: mean/min/max = %d/%d/%d", r.Approaches[i], r.Mean[i], r.Min[i], r.Max[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("report header missing")
+	}
+}
+
+func TestFigure11And12Drivers(t *testing.T) {
+	cfg := microCfg()
+	for _, fn := range []func(Config) (*FigUniformResult, error){Figure11, Figure12} {
+		r, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Total) != len(UniformRels) {
+			t.Fatalf("%s: rows = %d", r.Figure, len(r.Total))
+		}
+		// iShare never exceeds the worst approach at the same constraint.
+		for i := range r.Total {
+			ishare := r.Total[i][len(r.Total[i])-1]
+			worst := int64(0)
+			for _, v := range r.Total[i] {
+				if v > worst {
+					worst = v
+				}
+			}
+			if ishare > worst {
+				t.Errorf("%s rel %.2f: iShare %d above worst %d", r.Figure, r.Rels[i], ishare, worst)
+			}
+		}
+		var buf bytes.Buffer
+		r.Report(&buf)
+		if !strings.Contains(buf.String(), "uniform relative") {
+			t.Error("report header missing")
+		}
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	cfg := microCfg()
+	f9, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := Table1(f9, f11, f12)
+	if len(t1.Random) != len(t1.Approaches) || len(t1.Uniform) != len(t1.Approaches) {
+		t.Fatal("stats missing")
+	}
+	for i := range t1.Approaches {
+		if t1.Random[i].MaxRel < t1.Random[i].MeanRel {
+			t.Errorf("%s: max below mean", t1.Approaches[i])
+		}
+	}
+	var buf bytes.Buffer
+	t1.Report(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("report header missing")
+	}
+}
+
+func TestFigure13Driver(t *testing.T) {
+	r, err := Figure13(microCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Total) != len(r.Approaches) || len(r.Miss) != len(r.Approaches) {
+		t.Fatal("series missing")
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	r.Table2(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "Figure 13") || !strings.Contains(text, "Table 2") {
+		t.Error("report headers missing")
+	}
+}
+
+func TestFigure14Driver(t *testing.T) {
+	r, err := Figure14(microCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Approaches) != len(Fig14Approaches) {
+		t.Fatal("approaches missing")
+	}
+	// iShare (w/ unshare) never exceeds iShare (w/o unshare): the
+	// decomposer only adopts improving rebuilds (in model units; measured
+	// totals may differ by noise, so compare the weaker invariant that
+	// both ran).
+	for i := range r.Total {
+		for j := range r.Approaches {
+			if r.Total[i][j] <= 0 {
+				t.Errorf("rel %.2f %s: total %d", r.Rels[i], r.Approaches[j], r.Total[i][j])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	r.Table3(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "Figure 14") || !strings.Contains(text, "Table 3") {
+		t.Error("report headers missing")
+	}
+}
+
+func TestFigure17AllPairs(t *testing.T) {
+	for _, p := range Fig17Pairs {
+		r, err := Figure17(microCfg(), p.Label)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label, err)
+		}
+		if r.Names[0] != p.First || r.Names[1] != p.Second {
+			t.Errorf("%s: names = %v", p.Label, r.Names)
+		}
+	}
+}
+
+func TestDefaultApproachesMatchPaper(t *testing.T) {
+	want := []opt.Approach{
+		opt.NoShareUniform, opt.NoShareNonuniform, opt.ShareUniform, opt.IShare,
+	}
+	if len(DefaultApproaches) != len(want) {
+		t.Fatal("approach set changed")
+	}
+	for i := range want {
+		if DefaultApproaches[i] != want[i] {
+			t.Errorf("approach %d = %v, want %v", i, DefaultApproaches[i], want[i])
+		}
+	}
+}
+
+func TestModelAccuracy(t *testing.T) {
+	r, err := ModelAccuracy(microCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names) != 22 || len(r.Ratio) != 22 {
+		t.Fatalf("entries = %d", len(r.Names))
+	}
+	for i, ratio := range r.Ratio {
+		if ratio <= 0 {
+			t.Errorf("%s: non-positive ratio %v", r.Names[i], ratio)
+		}
+	}
+	// The model must stay within an order of magnitude per query — the
+	// optimizer's decisions are only as good as this.
+	if worst := r.WorstRatio(); worst > 10 {
+		t.Errorf("worst model deviation %.1fx exceeds 10x", worst)
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "worst deviation") {
+		t.Error("report footer missing")
+	}
+}

@@ -1,0 +1,412 @@
+// Package expr defines scalar expressions over rows: column references,
+// literals, arithmetic, comparisons and boolean connectives. Expressions are
+// immutable trees; evaluation is allocation-free for scalar results.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"ishare/internal/value"
+)
+
+// Op enumerates operators.
+type Op uint8
+
+// Operator constants. Comparison operators evaluate to BOOL; arithmetic
+// operators follow numeric promotion (INT op INT = INT except division).
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNot:
+		return "NOT"
+	case OpNeg:
+		return "-"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Comparison reports whether the operator yields a boolean from two scalars.
+func (o Op) Comparison() bool { return o >= OpEq && o <= OpGe }
+
+// Expr is a scalar expression evaluated against a row.
+type Expr interface {
+	// Eval computes the expression over the row.
+	Eval(row value.Row) value.Value
+	// Type returns the static result kind.
+	Type() value.Kind
+	// String renders a canonical form used in plan signatures.
+	String() string
+	// Walk visits this node and all children.
+	Walk(fn func(Expr))
+}
+
+// Column is a reference to an input column by position.
+type Column struct {
+	// Index is the position in the input row.
+	Index int
+	// Name is the qualified source name, kept for display and signatures.
+	Name string
+	// Kind is the column's type.
+	Kind value.Kind
+}
+
+// Eval returns the row's value at the column index.
+func (c *Column) Eval(row value.Row) value.Value { return row[c.Index] }
+
+// Type returns the column kind.
+func (c *Column) Type() value.Kind { return c.Kind }
+
+// String renders the column by name.
+func (c *Column) String() string { return c.Name }
+
+// Walk visits the node.
+func (c *Column) Walk(fn func(Expr)) { fn(c) }
+
+// Const is a literal value.
+type Const struct {
+	Val value.Value
+}
+
+// Eval returns the literal.
+func (c *Const) Eval(value.Row) value.Value { return c.Val }
+
+// Type returns the literal kind.
+func (c *Const) Type() value.Kind { return c.Val.K }
+
+// String renders the literal; strings are quoted.
+func (c *Const) String() string {
+	if c.Val.K == value.KindString {
+		return "'" + c.Val.S + "'"
+	}
+	return c.Val.String()
+}
+
+// Walk visits the node.
+func (c *Const) Walk(fn func(Expr)) { fn(c) }
+
+// Binary applies Op to two operands.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+// Eval applies the operator with SQL-ish NULL propagation: any NULL operand
+// yields NULL, except AND/OR which use two-valued logic over non-NULL inputs.
+func (b *Binary) Eval(row value.Row) value.Value {
+	l := b.L.Eval(row)
+	switch b.Op {
+	case OpAnd:
+		if l.K == value.KindBool && l.I == 0 {
+			return value.Bool(false)
+		}
+		r := b.R.Eval(row)
+		if l.IsNull() || r.IsNull() {
+			return value.Null
+		}
+		return value.Bool(l.Truth() && r.Truth())
+	case OpOr:
+		if l.Truth() {
+			return value.Bool(true)
+		}
+		r := b.R.Eval(row)
+		if l.IsNull() || r.IsNull() {
+			return value.Null
+		}
+		return value.Bool(l.Truth() || r.Truth())
+	}
+	r := b.R.Eval(row)
+	if l.IsNull() || r.IsNull() {
+		return value.Null
+	}
+	if b.Op.Comparison() {
+		c := value.Compare(l, r)
+		switch b.Op {
+		case OpEq:
+			return value.Bool(c == 0)
+		case OpNe:
+			return value.Bool(c != 0)
+		case OpLt:
+			return value.Bool(c < 0)
+		case OpLe:
+			return value.Bool(c <= 0)
+		case OpGt:
+			return value.Bool(c > 0)
+		default:
+			return value.Bool(c >= 0)
+		}
+	}
+	return arith(b.Op, l, r)
+}
+
+func arith(op Op, l, r value.Value) value.Value {
+	if l.K == value.KindInt && r.K == value.KindInt && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return value.Int(l.I + r.I)
+		case OpSub:
+			return value.Int(l.I - r.I)
+		case OpMul:
+			return value.Int(l.I * r.I)
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch op {
+	case OpAdd:
+		return value.Float(lf + rf)
+	case OpSub:
+		return value.Float(lf - rf)
+	case OpMul:
+		return value.Float(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return value.Null
+		}
+		return value.Float(lf / rf)
+	default:
+		return value.Null
+	}
+}
+
+// Type returns the static result kind of the binary expression.
+func (b *Binary) Type() value.Kind {
+	if b.Op.Comparison() || b.Op == OpAnd || b.Op == OpOr {
+		return value.KindBool
+	}
+	if b.Op == OpDiv {
+		return value.KindFloat
+	}
+	if b.L.Type() == value.KindInt && b.R.Type() == value.KindInt {
+		return value.KindInt
+	}
+	return value.KindFloat
+}
+
+// String renders the expression fully parenthesized for canonical signatures.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Walk visits the node and its operands.
+func (b *Binary) Walk(fn func(Expr)) {
+	fn(b)
+	b.L.Walk(fn)
+	b.R.Walk(fn)
+}
+
+// Unary applies NOT or numeric negation.
+type Unary struct {
+	Op Op
+	E  Expr
+}
+
+// Eval applies the unary operator with NULL propagation.
+func (u *Unary) Eval(row value.Row) value.Value {
+	v := u.E.Eval(row)
+	if v.IsNull() {
+		return value.Null
+	}
+	switch u.Op {
+	case OpNot:
+		return value.Bool(!v.Truth())
+	case OpNeg:
+		if v.K == value.KindInt {
+			return value.Int(-v.I)
+		}
+		return value.Float(-v.AsFloat())
+	default:
+		return value.Null
+	}
+}
+
+// Type returns the static result kind.
+func (u *Unary) Type() value.Kind {
+	if u.Op == OpNot {
+		return value.KindBool
+	}
+	return u.E.Type()
+}
+
+// String renders the unary expression.
+func (u *Unary) String() string {
+	if u.Op == OpNot {
+		return "(NOT " + u.E.String() + ")"
+	}
+	return "(-" + u.E.String() + ")"
+}
+
+// Walk visits the node and its operand.
+func (u *Unary) Walk(fn func(Expr)) {
+	fn(u)
+	u.E.Walk(fn)
+}
+
+// Columns returns the distinct input column indexes referenced by e, in
+// first-seen order.
+func Columns(e Expr) []int {
+	var out []int
+	seen := make(map[int]bool)
+	e.Walk(func(n Expr) {
+		if c, ok := n.(*Column); ok && !seen[c.Index] {
+			seen[c.Index] = true
+			out = append(out, c.Index)
+		}
+	})
+	return out
+}
+
+// Remap returns a copy of e with every column index rewritten through m.
+// Missing entries keep their index. Names and kinds are preserved.
+func Remap(e Expr, m map[int]int) Expr {
+	switch n := e.(type) {
+	case *Column:
+		idx := n.Index
+		if to, ok := m[idx]; ok {
+			idx = to
+		}
+		return &Column{Index: idx, Name: n.Name, Kind: n.Kind}
+	case *Const:
+		return n
+	case *Binary:
+		return &Binary{Op: n.Op, L: Remap(n.L, m), R: Remap(n.R, m)}
+	case *Unary:
+		return &Unary{Op: n.Op, E: Remap(n.E, m)}
+	case *Like:
+		return NewLike(Remap(n.E, m), n.Pattern, n.Negate)
+	default:
+		return e
+	}
+}
+
+// Equal reports structural equality by canonical string form.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// Conjuncts splits a predicate on top-level ANDs.
+func Conjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// And combines predicates with AND; nil inputs are skipped. Returns nil if
+// all inputs are nil.
+func And(preds ...Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// Validate type-checks the expression, returning an error describing the
+// first ill-typed node found.
+func Validate(e Expr) error {
+	var err error
+	e.Walk(func(n Expr) {
+		if err != nil {
+			return
+		}
+		switch x := n.(type) {
+		case *Binary:
+			lt, rt := x.L.Type(), x.R.Type()
+			switch {
+			case x.Op == OpAnd || x.Op == OpOr:
+				if lt != value.KindBool || rt != value.KindBool {
+					err = fmt.Errorf("expr: %s requires boolean operands, got %s %s", x.Op, lt, rt)
+				}
+			case x.Op.Comparison():
+				if !comparable(lt, rt) {
+					err = fmt.Errorf("expr: cannot compare %s with %s", lt, rt)
+				}
+			default:
+				if !lt.Numeric() || !rt.Numeric() {
+					err = fmt.Errorf("expr: arithmetic %s requires numeric operands, got %s %s", x.Op, lt, rt)
+				}
+			}
+		case *Unary:
+			et := x.E.Type()
+			if x.Op == OpNot && et != value.KindBool {
+				err = fmt.Errorf("expr: NOT requires a boolean operand, got %s", et)
+			}
+			if x.Op == OpNeg && !et.Numeric() {
+				err = fmt.Errorf("expr: negation requires a numeric operand, got %s", et)
+			}
+		case *Like:
+			if et := x.E.Type(); et != value.KindString {
+				err = fmt.Errorf("expr: LIKE requires a string operand, got %s", et)
+			}
+		}
+	})
+	return err
+}
+
+func comparable(a, b value.Kind) bool {
+	if a == b {
+		return true
+	}
+	return a.Numeric() && b.Numeric()
+}
+
+// Describe renders a short human-readable form for plan explain output.
+func Describe(e Expr) string {
+	if e == nil {
+		return "true"
+	}
+	s := e.String()
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,233 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ishare/internal/value"
+)
+
+func col(i int, name string, k value.Kind) *Column {
+	return &Column{Index: i, Name: name, Kind: k}
+}
+
+func lit(v value.Value) *Const { return &Const{Val: v} }
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "AND", OpOr: "OR", OpNot: "NOT",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	row := value.Row{value.Int(6), value.Int(4), value.Float(2.5)}
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{&Binary{OpAdd, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.Int(10)},
+		{&Binary{OpSub, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.Int(2)},
+		{&Binary{OpMul, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.Int(24)},
+		{&Binary{OpDiv, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.Float(1.5)},
+		{&Binary{OpAdd, col(0, "a", value.KindInt), col(2, "c", value.KindFloat)}, value.Float(8.5)},
+		{&Unary{OpNeg, col(0, "a", value.KindInt)}, value.Int(-6)},
+		{&Unary{OpNeg, col(2, "c", value.KindFloat)}, value.Float(-2.5)},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(row); !value.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	e := &Binary{OpDiv, lit(value.Int(1)), lit(value.Int(0))}
+	if got := e.Eval(nil); !got.IsNull() {
+		t.Errorf("1/0 = %v, want NULL", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	row := value.Row{value.Int(3), value.Int(5), value.Str("abc")}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{&Binary{OpEq, col(0, "a", value.KindInt), lit(value.Int(3))}, true},
+		{&Binary{OpNe, col(0, "a", value.KindInt), lit(value.Int(3))}, false},
+		{&Binary{OpLt, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, true},
+		{&Binary{OpLe, col(0, "a", value.KindInt), lit(value.Int(3))}, true},
+		{&Binary{OpGt, col(1, "b", value.KindInt), col(0, "a", value.KindInt)}, true},
+		{&Binary{OpGe, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, false},
+		{&Binary{OpEq, col(2, "s", value.KindString), lit(value.Str("abc"))}, true},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(row); got.Truth() != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBooleanLogicAndNullPropagation(t *testing.T) {
+	tr, fa, nl := lit(value.Bool(true)), lit(value.Bool(false)), lit(value.Null)
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{&Binary{OpAnd, tr, tr}, value.Bool(true)},
+		{&Binary{OpAnd, tr, fa}, value.Bool(false)},
+		{&Binary{OpAnd, fa, nl}, value.Bool(false)}, // short-circuit
+		{&Binary{OpAnd, tr, nl}, value.Null},
+		{&Binary{OpOr, fa, tr}, value.Bool(true)},
+		{&Binary{OpOr, tr, nl}, value.Bool(true)}, // short-circuit
+		{&Binary{OpOr, fa, nl}, value.Null},
+		{&Unary{OpNot, tr}, value.Bool(false)},
+		{&Unary{OpNot, nl}, value.Null},
+		{&Binary{OpEq, nl, lit(value.Int(1))}, value.Null},
+		{&Binary{OpAdd, nl, lit(value.Int(1))}, value.Null},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(nil)
+		if got.K != c.want.K || got.I != c.want.I {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestTypes(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want value.Kind
+	}{
+		{&Binary{OpAdd, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.KindInt},
+		{&Binary{OpAdd, col(0, "a", value.KindInt), col(1, "b", value.KindFloat)}, value.KindFloat},
+		{&Binary{OpDiv, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.KindFloat},
+		{&Binary{OpEq, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}, value.KindBool},
+		{&Unary{OpNot, lit(value.Bool(true))}, value.KindBool},
+		{&Unary{OpNeg, col(0, "a", value.KindInt)}, value.KindInt},
+	}
+	for _, c := range cases {
+		if got := c.e.Type(); got != c.want {
+			t.Errorf("%s.Type() = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Binary{OpAnd,
+		&Binary{OpEq, col(0, "a", value.KindInt), lit(value.Int(1))},
+		&Binary{OpLt, col(1, "b", value.KindFloat), lit(value.Float(2))},
+	}
+	if err := Validate(good); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	bad := []Expr{
+		&Binary{OpAnd, lit(value.Int(1)), lit(value.Bool(true))},
+		&Binary{OpAdd, lit(value.Str("x")), lit(value.Int(1))},
+		&Binary{OpEq, lit(value.Str("x")), lit(value.Int(1))},
+		&Unary{OpNot, lit(value.Int(1))},
+		&Unary{OpNeg, lit(value.Str("x"))},
+	}
+	for _, e := range bad {
+		if err := Validate(e); err == nil {
+			t.Errorf("Validate(%s) accepted ill-typed expression", e)
+		}
+	}
+}
+
+func TestCanonicalString(t *testing.T) {
+	e := &Binary{OpAnd,
+		&Binary{OpEq, col(0, "p_brand", value.KindString), lit(value.Str("Brand#23"))},
+		&Binary{OpGe, col(1, "p_size", value.KindInt), lit(value.Int(15))},
+	}
+	want := "((p_brand = 'Brand#23') AND (p_size >= 15))"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestColumnsAndRemap(t *testing.T) {
+	e := &Binary{OpAnd,
+		&Binary{OpEq, col(2, "a", value.KindInt), col(0, "b", value.KindInt)},
+		&Binary{OpLt, col(2, "a", value.KindInt), lit(value.Int(9))},
+	}
+	cols := Columns(e)
+	if len(cols) != 2 || cols[0] != 2 || cols[1] != 0 {
+		t.Errorf("Columns = %v", cols)
+	}
+	r := Remap(e, map[int]int{2: 5, 0: 1})
+	cols = Columns(r)
+	if len(cols) != 2 || cols[0] != 5 || cols[1] != 1 {
+		t.Errorf("remapped Columns = %v", cols)
+	}
+	// Original must be untouched.
+	if c := Columns(e); c[0] != 2 {
+		t.Error("Remap mutated its input")
+	}
+}
+
+func TestConjunctsAndAnd(t *testing.T) {
+	a := &Binary{OpEq, col(0, "a", value.KindInt), lit(value.Int(1))}
+	b := &Binary{OpEq, col(1, "b", value.KindInt), lit(value.Int(2))}
+	c := &Binary{OpEq, col(2, "c", value.KindInt), lit(value.Int(3))}
+	e := And(a, b, c)
+	parts := Conjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("Conjuncts = %d parts", len(parts))
+	}
+	if And() != nil {
+		t.Error("And() of nothing must be nil")
+	}
+	if And(nil, a, nil) != a {
+		t.Error("And must skip nils")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := &Binary{OpEq, col(0, "x", value.KindInt), lit(value.Int(1))}
+	b := &Binary{OpEq, col(0, "x", value.KindInt), lit(value.Int(1))}
+	c := &Binary{OpEq, col(0, "x", value.KindInt), lit(value.Int(2))}
+	if !Equal(a, b) || Equal(a, c) {
+		t.Error("Equal misjudges expressions")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("Equal misjudges nils")
+	}
+}
+
+// TestQuickNotNot checks NOT(NOT p) == p for non-NULL booleans.
+func TestQuickNotNot(t *testing.T) {
+	f := func(p bool) bool {
+		e := &Unary{OpNot, &Unary{OpNot, lit(value.Bool(p))}}
+		return e.Eval(nil).Truth() == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComparisonTotality checks exactly one of <, =, > holds for ints.
+func TestQuickComparisonTotality(t *testing.T) {
+	f := func(a, b int64) bool {
+		lt := (&Binary{OpLt, lit(value.Int(a)), lit(value.Int(b))}).Eval(nil).Truth()
+		eq := (&Binary{OpEq, lit(value.Int(a)), lit(value.Int(b))}).Eval(nil).Truth()
+		gt := (&Binary{OpGt, lit(value.Int(a)), lit(value.Int(b))}).Eval(nil).Truth()
+		n := 0
+		for _, v := range []bool{lt, eq, gt} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

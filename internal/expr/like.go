@@ -1,0 +1,141 @@
+package expr
+
+import (
+	"strings"
+
+	"ishare/internal/value"
+)
+
+// Like is the SQL LIKE predicate: `%` matches any sequence, `_` any single
+// byte. Patterns are compiled once at construction.
+type Like struct {
+	// E is the matched string expression.
+	E Expr
+	// Pattern is the original SQL pattern.
+	Pattern string
+	// Negate inverts the match (NOT LIKE).
+	Negate bool
+
+	segments []string
+	anchorL  bool // pattern does not start with %
+	anchorR  bool // pattern does not end with %
+}
+
+// NewLike compiles a LIKE predicate.
+func NewLike(e Expr, pattern string, negate bool) *Like {
+	l := &Like{E: e, Pattern: pattern, Negate: negate}
+	l.anchorL = !strings.HasPrefix(pattern, "%")
+	l.anchorR = !strings.HasSuffix(pattern, "%")
+	for _, seg := range strings.Split(pattern, "%") {
+		if seg != "" {
+			l.segments = append(l.segments, seg)
+		}
+	}
+	return l
+}
+
+// Eval matches the pattern with SQL NULL propagation.
+func (l *Like) Eval(row value.Row) value.Value {
+	v := l.E.Eval(row)
+	if v.IsNull() {
+		return value.Null
+	}
+	m := l.match(v.S)
+	if l.Negate {
+		m = !m
+	}
+	return value.Bool(m)
+}
+
+// match runs the compiled segment matcher over s.
+func (l *Like) match(s string) bool {
+	segs := l.segments
+	if len(segs) == 0 {
+		// Pattern was only % signs (or empty).
+		return l.Pattern != "" || s == ""
+	}
+	// A %-free pattern must match the whole string exactly.
+	if l.anchorL && l.anchorR && len(segs) == 1 {
+		return len(s) == len(segs[0]) && matchHere(s, segs[0])
+	}
+	// Leading anchored segment.
+	if l.anchorL {
+		if !matchHere(s, segs[0]) {
+			return false
+		}
+		s = s[segLen(segs[0]):]
+		segs = segs[1:]
+	}
+	// Trailing anchored segment (when distinct from the leading one).
+	var tail string
+	if l.anchorR && len(segs) > 0 {
+		tail = segs[len(segs)-1]
+		segs = segs[:len(segs)-1]
+	}
+	// Interior segments match greedily left to right.
+	for _, seg := range segs {
+		idx := indexSeg(s, seg)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+segLen(seg):]
+	}
+	if tail != "" {
+		if len(s) < segLen(tail) {
+			return false
+		}
+		return matchHere(s[len(s)-segLen(tail):], tail)
+	}
+	return true
+}
+
+// segLen is the number of bytes a segment consumes (each `_` is one byte).
+func segLen(seg string) int { return len(seg) }
+
+// matchHere matches a %-free segment at the start of s, honoring `_`.
+func matchHere(s, seg string) bool {
+	if len(s) < len(seg) {
+		return false
+	}
+	for i := 0; i < len(seg); i++ {
+		if seg[i] != '_' && seg[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexSeg finds the first match of a %-free segment in s.
+func indexSeg(s, seg string) int {
+	if !strings.ContainsRune(seg, '_') {
+		return strings.Index(s, seg)
+	}
+	for i := 0; i+len(seg) <= len(s); i++ {
+		if matchHere(s[i:], seg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Type is BOOL.
+func (l *Like) Type() value.Kind { return value.KindBool }
+
+// String renders the predicate.
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return "(" + l.E.String() + " " + op + " '" + l.Pattern + "')"
+}
+
+// Walk visits the node and its operand.
+func (l *Like) Walk(fn func(Expr)) {
+	fn(l)
+	l.E.Walk(fn)
+}
+
+// likeSelectivity is the default fraction of strings matching a LIKE
+// pattern (System R-style constant).
+const likeSelectivity = 0.1

@@ -1,0 +1,100 @@
+package expr
+
+import (
+	"testing"
+
+	"ishare/internal/value"
+)
+
+func evalLike(pattern, s string, negate bool) value.Value {
+	l := NewLike(lit(value.Str(s)), pattern, negate)
+	return l.Eval(nil)
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%green%", "forest green smoke", true},
+		{"%green%", "navy blue", false},
+		{"green%", "green tea", true},
+		{"green%", "sea green", false},
+		{"%green", "sea green", true},
+		{"%green", "green tea", false},
+		{"green", "green", true},
+		{"green", "greens", false},
+		{"gr__n", "green", true},
+		{"gr__n", "groan", true},
+		{"gr__n", "grain", true},
+		{"gr__n", "grn", false},
+		{"%a%b%", "xaxbx", true},
+		{"%a%b%", "xbxax", false},
+		{"%", "anything", true},
+		{"%", "", true},
+		{"_", "x", true},
+		{"_", "xy", false},
+		{"a%z", "az", true},
+		{"a%z", "a-middle-z", true},
+		{"a%z", "za", false},
+	}
+	for _, c := range cases {
+		if got := evalLike(c.pattern, c.s, false); got.Truth() != c.want {
+			t.Errorf("LIKE %q on %q = %v, want %v", c.pattern, c.s, got.Truth(), c.want)
+		}
+		if got := evalLike(c.pattern, c.s, true); got.Truth() == c.want {
+			t.Errorf("NOT LIKE %q on %q should invert", c.pattern, c.s)
+		}
+	}
+}
+
+func TestLikeNullPropagates(t *testing.T) {
+	l := NewLike(lit(value.Null), "%x%", false)
+	if got := l.Eval(nil); !got.IsNull() {
+		t.Errorf("LIKE over NULL = %v, want NULL", got)
+	}
+}
+
+func TestLikeTypeAndStrings(t *testing.T) {
+	l := NewLike(col(0, "p_name", value.KindString), "%green%", false)
+	if l.Type() != value.KindBool {
+		t.Error("LIKE must type as BOOL")
+	}
+	if got := l.String(); got != "(p_name LIKE '%green%')" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Canon(l); got != "(p_name#0 LIKE '%green%')" {
+		t.Errorf("Canon = %q", got)
+	}
+	n := NewLike(col(0, "p_name", value.KindString), "x", true)
+	if got := n.String(); got != "(p_name NOT LIKE 'x')" {
+		t.Errorf("negated String = %q", got)
+	}
+}
+
+func TestLikeValidateAndRemap(t *testing.T) {
+	bad := NewLike(col(0, "n", value.KindInt), "%x%", false)
+	if err := Validate(bad); err == nil {
+		t.Error("LIKE over non-string accepted")
+	}
+	good := NewLike(col(2, "p_name", value.KindString), "%x%", false)
+	if err := Validate(good); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	moved := Remap(good, map[int]int{2: 7})
+	if cols := Columns(moved); len(cols) != 1 || cols[0] != 7 {
+		t.Errorf("Remap columns = %v", cols)
+	}
+}
+
+func TestLikeSelectivity(t *testing.T) {
+	pos := NewLike(col(0, "s", value.KindString), "%x%", false)
+	neg := NewLike(col(0, "s", value.KindString), "%x%", true)
+	ps, ns := Selectivity(pos, nil), Selectivity(neg, nil)
+	if ps <= 0 || ps >= 0.5 {
+		t.Errorf("LIKE selectivity = %v", ps)
+	}
+	if ns <= 0.5 || ns >= 1 {
+		t.Errorf("NOT LIKE selectivity = %v", ns)
+	}
+}

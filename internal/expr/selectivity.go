@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"ishare/internal/catalog"
+	"ishare/internal/value"
+)
+
+// StatsProvider supplies column statistics for selectivity estimation.
+// Implementations return ok=false when no statistics are known.
+type StatsProvider interface {
+	ColumnStats(index int) (catalog.ColumnStats, bool)
+}
+
+// Default selectivities used when statistics are unavailable, following the
+// classical System R defaults.
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 1.0 / 3.0
+	defaultOtherSel = 0.5
+)
+
+// Selectivity estimates the fraction of rows satisfying predicate e.
+// A nil predicate selects everything.
+func Selectivity(e Expr, sp StatsProvider) float64 {
+	if e == nil {
+		return 1
+	}
+	switch n := e.(type) {
+	case *Const:
+		if n.Val.K == value.KindBool {
+			if n.Val.I == 1 {
+				return 1
+			}
+			return 0
+		}
+		return 1
+	case *Unary:
+		if n.Op == OpNot {
+			return clampSel(1 - Selectivity(n.E, sp))
+		}
+		return defaultOtherSel
+	case *Like:
+		if n.Negate {
+			return clampSel(1 - likeSelectivity)
+		}
+		return likeSelectivity
+	case *Binary:
+		switch n.Op {
+		case OpAnd:
+			return clampSel(Selectivity(n.L, sp) * Selectivity(n.R, sp))
+		case OpOr:
+			l, r := Selectivity(n.L, sp), Selectivity(n.R, sp)
+			return clampSel(l + r - l*r)
+		case OpEq:
+			return eqSelectivity(n, sp)
+		case OpNe:
+			return clampSel(1 - eqSelectivity(n, sp))
+		case OpLt, OpLe, OpGt, OpGe:
+			return rangeSelectivity(n, sp)
+		default:
+			return defaultOtherSel
+		}
+	default:
+		return defaultOtherSel
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// columnAndConst extracts (column, constant) from a comparison in either
+// orientation, flipping the operator when the constant is on the left.
+func columnAndConst(b *Binary) (*Column, value.Value, Op, bool) {
+	if c, ok := b.L.(*Column); ok {
+		if k, ok2 := b.R.(*Const); ok2 {
+			return c, k.Val, b.Op, true
+		}
+	}
+	if c, ok := b.R.(*Column); ok {
+		if k, ok2 := b.L.(*Const); ok2 {
+			return c, k.Val, flipOp(b.Op), true
+		}
+	}
+	return nil, value.Null, b.Op, false
+}
+
+func flipOp(o Op) Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return o
+	}
+}
+
+func eqSelectivity(b *Binary, sp StatsProvider) float64 {
+	if c, _, _, ok := columnAndConst(b); ok && sp != nil {
+		if st, ok2 := sp.ColumnStats(c.Index); ok2 && st.Distinct > 0 {
+			return clampSel(1 / st.Distinct)
+		}
+	}
+	// column = column (an equi-join shape reaching a filter): use the
+	// larger distinct count when both sides are known.
+	lc, lok := b.L.(*Column)
+	rc, rok := b.R.(*Column)
+	if lok && rok && sp != nil {
+		ls, ok1 := sp.ColumnStats(lc.Index)
+		rs, ok2 := sp.ColumnStats(rc.Index)
+		if ok1 && ok2 {
+			d := ls.Distinct
+			if rs.Distinct > d {
+				d = rs.Distinct
+			}
+			if d > 0 {
+				return clampSel(1 / d)
+			}
+		}
+	}
+	return defaultEqSel
+}
+
+func rangeSelectivity(b *Binary, sp StatsProvider) float64 {
+	c, k, op, ok := columnAndConst(b)
+	if !ok || sp == nil {
+		return defaultRangeSel
+	}
+	st, ok := sp.ColumnStats(c.Index)
+	if !ok || st.Min.IsNull() || st.Max.IsNull() {
+		return defaultRangeSel
+	}
+	lo, hi, v := st.Min.AsFloat(), st.Max.AsFloat(), k.AsFloat()
+	if hi <= lo {
+		return defaultRangeSel
+	}
+	frac := (v - lo) / (hi - lo)
+	frac = clampSel(frac)
+	switch op {
+	case OpLt, OpLe:
+		return frac
+	default: // OpGt, OpGe
+		return clampSel(1 - frac)
+	}
+}

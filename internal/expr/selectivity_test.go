@@ -1,0 +1,132 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"ishare/internal/catalog"
+	"ishare/internal/value"
+)
+
+type mapStats map[int]catalog.ColumnStats
+
+func (m mapStats) ColumnStats(i int) (catalog.ColumnStats, bool) {
+	s, ok := m[i]
+	return s, ok
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSelectivityNilPredicate(t *testing.T) {
+	if got := Selectivity(nil, nil); got != 1 {
+		t.Errorf("nil predicate = %v", got)
+	}
+}
+
+func TestSelectivityEquality(t *testing.T) {
+	sp := mapStats{0: {Distinct: 50}}
+	e := &Binary{OpEq, col(0, "a", value.KindInt), lit(value.Int(7))}
+	if got := Selectivity(e, sp); !almost(got, 1.0/50) {
+		t.Errorf("eq sel = %v, want 0.02", got)
+	}
+	// Constant on the left.
+	e2 := &Binary{OpEq, lit(value.Int(7)), col(0, "a", value.KindInt)}
+	if got := Selectivity(e2, sp); !almost(got, 1.0/50) {
+		t.Errorf("flipped eq sel = %v", got)
+	}
+	// No stats: default.
+	if got := Selectivity(e, mapStats{}); !almost(got, defaultEqSel) {
+		t.Errorf("default eq sel = %v", got)
+	}
+}
+
+func TestSelectivityNe(t *testing.T) {
+	sp := mapStats{0: {Distinct: 4}}
+	e := &Binary{OpNe, col(0, "a", value.KindInt), lit(value.Int(7))}
+	if got := Selectivity(e, sp); !almost(got, 0.75) {
+		t.Errorf("ne sel = %v, want 0.75", got)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	sp := mapStats{0: {Distinct: 100, Min: value.Int(0), Max: value.Int(100)}}
+	lt := &Binary{OpLt, col(0, "a", value.KindInt), lit(value.Int(25))}
+	if got := Selectivity(lt, sp); !almost(got, 0.25) {
+		t.Errorf("lt sel = %v, want 0.25", got)
+	}
+	gt := &Binary{OpGt, col(0, "a", value.KindInt), lit(value.Int(25))}
+	if got := Selectivity(gt, sp); !almost(got, 0.75) {
+		t.Errorf("gt sel = %v, want 0.75", got)
+	}
+	// Flipped: 25 < a is a > 25.
+	flip := &Binary{OpLt, lit(value.Int(25)), col(0, "a", value.KindInt)}
+	if got := Selectivity(flip, sp); !almost(got, 0.75) {
+		t.Errorf("flipped sel = %v, want 0.75", got)
+	}
+	// Out-of-range constants clamp.
+	hi := &Binary{OpLt, col(0, "a", value.KindInt), lit(value.Int(500))}
+	if got := Selectivity(hi, sp); !almost(got, 1) {
+		t.Errorf("clamped sel = %v, want 1", got)
+	}
+}
+
+func TestSelectivityRangeNoStats(t *testing.T) {
+	e := &Binary{OpLt, col(0, "a", value.KindInt), lit(value.Int(25))}
+	if got := Selectivity(e, nil); !almost(got, defaultRangeSel) {
+		t.Errorf("no-stats range sel = %v", got)
+	}
+}
+
+func TestSelectivityConnectives(t *testing.T) {
+	sp := mapStats{
+		0: {Distinct: 10},
+		1: {Distinct: 10},
+	}
+	a := &Binary{OpEq, col(0, "a", value.KindInt), lit(value.Int(1))}
+	b := &Binary{OpEq, col(1, "b", value.KindInt), lit(value.Int(2))}
+	and := &Binary{OpAnd, a, b}
+	if got := Selectivity(and, sp); !almost(got, 0.01) {
+		t.Errorf("and sel = %v, want 0.01", got)
+	}
+	or := &Binary{OpOr, a, b}
+	if got := Selectivity(or, sp); !almost(got, 0.19) {
+		t.Errorf("or sel = %v, want 0.19", got)
+	}
+	not := &Unary{OpNot, a}
+	if got := Selectivity(not, sp); !almost(got, 0.9) {
+		t.Errorf("not sel = %v, want 0.9", got)
+	}
+}
+
+func TestSelectivityColumnEqColumn(t *testing.T) {
+	sp := mapStats{0: {Distinct: 20}, 1: {Distinct: 80}}
+	e := &Binary{OpEq, col(0, "a", value.KindInt), col(1, "b", value.KindInt)}
+	if got := Selectivity(e, sp); !almost(got, 1.0/80) {
+		t.Errorf("col=col sel = %v, want 1/80", got)
+	}
+}
+
+func TestSelectivityBoolConst(t *testing.T) {
+	if got := Selectivity(lit(value.Bool(true)), nil); got != 1 {
+		t.Errorf("true sel = %v", got)
+	}
+	if got := Selectivity(lit(value.Bool(false)), nil); got != 0 {
+		t.Errorf("false sel = %v", got)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	// Selectivity must always be in [0,1] for a mess of nested predicates.
+	sp := mapStats{0: {Distinct: 2, Min: value.Int(0), Max: value.Int(1)}}
+	e := And(
+		&Binary{OpOr,
+			&Binary{OpEq, col(0, "a", value.KindInt), lit(value.Int(1))},
+			&Unary{OpNot, &Binary{OpLt, col(0, "a", value.KindInt), lit(value.Int(1))}},
+		},
+		&Binary{OpGe, col(0, "a", value.KindInt), lit(value.Int(0))},
+	)
+	got := Selectivity(e, sp)
+	if got < 0 || got > 1 {
+		t.Errorf("sel out of bounds: %v", got)
+	}
+}

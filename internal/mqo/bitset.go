@@ -1,0 +1,67 @@
+package mqo
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxQueries bounds the number of queries in one shared plan: query
+// membership is tracked in a 64-bit bitvector attached to every operator and
+// every intermediate tuple, as in SharedDB.
+const MaxQueries = 64
+
+// Bitset is a set of query ids in [0, MaxQueries).
+type Bitset uint64
+
+// Bit returns the singleton set {q}.
+func Bit(q int) Bitset { return 1 << uint(q) }
+
+// Has reports whether q is in the set.
+func (b Bitset) Has(q int) bool { return b&Bit(q) != 0 }
+
+// With returns the set plus q.
+func (b Bitset) With(q int) Bitset { return b | Bit(q) }
+
+// Union returns the union of two sets.
+func (b Bitset) Union(o Bitset) Bitset { return b | o }
+
+// Intersect returns the intersection of two sets.
+func (b Bitset) Intersect(o Bitset) Bitset { return b & o }
+
+// Minus returns b with o's members removed.
+func (b Bitset) Minus(o Bitset) Bitset { return b &^ o }
+
+// Contains reports whether every member of o is in b.
+func (b Bitset) Contains(o Bitset) bool { return b&o == o }
+
+// Empty reports whether the set has no members.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// Count returns the number of members.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Members lists the query ids in ascending order.
+func (b Bitset) Members() []int {
+	out := make([]int, 0, b.Count())
+	for v := uint64(b); v != 0; {
+		q := bits.TrailingZeros64(v)
+		out = append(out, q)
+		v &^= 1 << uint(q)
+	}
+	return out
+}
+
+// String renders the set as {0,2,5}.
+func (b Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, q := range b.Members() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(q))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

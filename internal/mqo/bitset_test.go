@@ -1,0 +1,66 @@
+package mqo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if !b.Empty() || b.Count() != 0 {
+		t.Error("zero bitset must be empty")
+	}
+	b = b.With(3).With(0).With(63)
+	if !b.Has(3) || !b.Has(0) || !b.Has(63) || b.Has(1) {
+		t.Errorf("membership wrong: %s", b)
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	m := b.Members()
+	if len(m) != 3 || m[0] != 0 || m[1] != 3 || m[2] != 63 {
+		t.Errorf("Members = %v", m)
+	}
+	if got := b.String(); got != "{0,3,63}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	a := Bit(1).Union(Bit(2))
+	b := Bit(2).Union(Bit(3))
+	if got := a.Intersect(b); got != Bit(2) {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := a.Union(b); got.Count() != 3 {
+		t.Errorf("Union = %s", got)
+	}
+	if got := a.Minus(b); got != Bit(1) {
+		t.Errorf("Minus = %s", got)
+	}
+	if !a.Contains(Bit(1)) || a.Contains(b) {
+		t.Error("Contains wrong")
+	}
+	if !a.Contains(0) {
+		t.Error("every set contains the empty set")
+	}
+}
+
+func TestQuickBitsetLaws(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Bitset(x), Bitset(y)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if !a.Union(b).Contains(a) {
+			return false
+		}
+		if a.Intersect(b).Union(a.Minus(b)) != a {
+			return false
+		}
+		return a.Minus(b).Intersect(b).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

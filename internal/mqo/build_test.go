@@ -1,0 +1,259 @@
+package mqo
+
+import (
+	"strings"
+	"testing"
+
+	"ishare/internal/catalog"
+	"ishare/internal/plan"
+	"ishare/internal/value"
+)
+
+// testCatalog provides the tables used by the paper's example queries.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	add := func(name string, cols ...catalog.Column) {
+		if err := c.Add(&catalog.Table{Name: name, Columns: cols, Stats: catalog.TableStats{RowCount: 1000}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("lineitem",
+		catalog.Column{Name: "l_partkey", Type: value.KindInt},
+		catalog.Column{Name: "l_quantity", Type: value.KindFloat},
+	)
+	add("part",
+		catalog.Column{Name: "p_partkey", Type: value.KindInt},
+		catalog.Column{Name: "p_brand", Type: value.KindString},
+		catalog.Column{Name: "p_size", Type: value.KindInt},
+	)
+	add("partsupp",
+		catalog.Column{Name: "ps_partkey", Type: value.KindInt},
+		catalog.Column{Name: "ps_availqty", Type: value.KindInt},
+	)
+	return c
+}
+
+const sqlQA = `SELECT SUM(agg_l.sum_quantity) AS total_sum_quantity
+	FROM part p, (SELECT SUM(l_quantity) AS sum_quantity
+		FROM lineitem GROUP BY l_partkey) agg_l
+	WHERE p_partkey == l_partkey`
+
+const sqlQB = `SELECT ps_partkey FROM partsupp ps,
+	(SELECT AVG(agg_l.sum_quantity) AS avg_quantity FROM part p,
+		(SELECT SUM(l_quantity) AS sum_quantity FROM lineitem GROUP BY l_partkey) agg_l
+		WHERE p_partkey = l_partkey AND p_brand == 'Brand#23' AND p_size == 15) x
+	WHERE ps.ps_availqty < avg_quantity`
+
+func bindQuery(t *testing.T, c *catalog.Catalog, name, sql string) plan.Query {
+	t.Helper()
+	n, err := plan.ParseAndBind(sql, c)
+	if err != nil {
+		t.Fatalf("bind %s: %v", name, err)
+	}
+	return plan.Query{Name: name, Root: n}
+}
+
+func buildShared(t *testing.T, queries ...plan.Query) *SharedPlan {
+	t.Helper()
+	sp, err := Build(queries)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, sp.Explain())
+	}
+	return sp
+}
+
+func TestBuildSingleQuery(t *testing.T) {
+	c := testCatalog(t)
+	sp := buildShared(t, bindQuery(t, c, "QA", sqlQA))
+	if sp.NumQueries() != 1 {
+		t.Fatalf("queries = %d", sp.NumQueries())
+	}
+	// Ops: scan(lineitem), agg1, scan(part), join, agg2, project.
+	if len(sp.Ops) != 6 {
+		t.Errorf("ops = %d\n%s", len(sp.Ops), sp.Explain())
+	}
+	if sp.SharedOpCount() != 0 {
+		t.Errorf("single query must share nothing")
+	}
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	c := testCatalog(t)
+	sp := buildShared(t,
+		bindQuery(t, c, "QA", sqlQA),
+		bindQuery(t, c, "QB", sqlQB),
+	)
+	// The lineitem scan, the sum aggregate, the part scan and the join are
+	// shared by both queries (the paper's Subplan1).
+	if got := sp.SharedOpCount(); got != 4 {
+		t.Errorf("shared ops = %d, want 4\n%s", got, sp.Explain())
+	}
+	// QB's brand/size predicate must be a marker on the shared part scan.
+	var partScan *Op
+	for _, o := range sp.Ops {
+		if o.Kind == KindScan && o.Table.Name == "part" {
+			partScan = o
+		}
+	}
+	if partScan == nil {
+		t.Fatal("no part scan")
+	}
+	if partScan.Queries.Count() != 2 {
+		t.Errorf("part scan queries = %s", partScan.Queries)
+	}
+	if _, ok := partScan.Preds[1]; !ok {
+		t.Errorf("QB's marker predicate missing on shared part scan: %s", partScan.Describe())
+	}
+	if _, ok := partScan.Preds[0]; ok {
+		t.Errorf("QA must not filter the part scan")
+	}
+}
+
+func TestBuildDifferentAggregatesDoNotShare(t *testing.T) {
+	c := testCatalog(t)
+	q1 := bindQuery(t, c, "sum", "SELECT SUM(l_quantity) FROM lineitem GROUP BY l_partkey")
+	q2 := bindQuery(t, c, "max", "SELECT MAX(l_quantity) FROM lineitem GROUP BY l_partkey")
+	sp := buildShared(t, q1, q2)
+	// Only the lineitem scan is shared.
+	if got := sp.SharedOpCount(); got != 1 {
+		t.Errorf("shared ops = %d, want 1\n%s", got, sp.Explain())
+	}
+}
+
+func TestBuildIdenticalQueriesShareEverythingButRoots(t *testing.T) {
+	c := testCatalog(t)
+	sql := "SELECT p_brand FROM part WHERE p_size > 10"
+	sp := buildShared(t, bindQuery(t, c, "q1", sql), bindQuery(t, c, "q2", sql))
+	// Shared scan with both predicates; two private root projects.
+	if len(sp.Ops) != 3 {
+		t.Errorf("ops = %d, want 3\n%s", len(sp.Ops), sp.Explain())
+	}
+	scan := sp.Ops[0]
+	if scan.Kind != KindScan || len(scan.Preds) != 2 {
+		t.Errorf("scan = %s", scan.Describe())
+	}
+}
+
+func TestBuildRejectsTooManyQueries(t *testing.T) {
+	c := testCatalog(t)
+	q := bindQuery(t, c, "q", "SELECT p_brand FROM part")
+	many := make([]plan.Query, MaxQueries+1)
+	for i := range many {
+		many[i] = q
+	}
+	if _, err := Build(many); err == nil {
+		t.Error("over-limit query set accepted")
+	}
+	if _, err := Build(nil); err == nil {
+		t.Error("empty query set accepted")
+	}
+}
+
+func TestExtractPaperExample(t *testing.T) {
+	c := testCatalog(t)
+	sp := buildShared(t,
+		bindQuery(t, c, "QA", sqlQA),
+		bindQuery(t, c, "QB", sqlQB),
+	)
+	g, err := Extract(sp)
+	if err != nil {
+		t.Fatalf("Extract: %v\n%s", err, sp.Explain())
+	}
+	// Three subplans as in the paper's Figure 2: the shared Subplan1 plus
+	// one private subplan per query.
+	if len(g.Subplans) != 3 {
+		t.Fatalf("subplans = %d\n%s", len(g.Subplans), g.Explain())
+	}
+	var shared *Subplan
+	for _, s := range g.Subplans {
+		if s.Queries.Count() == 2 {
+			shared = s
+		}
+	}
+	if shared == nil {
+		t.Fatalf("no shared subplan:\n%s", g.Explain())
+	}
+	if shared.Root.Kind != KindJoin {
+		t.Errorf("shared subplan root = %s", shared.Root.Describe())
+	}
+	if len(shared.Ops) != 4 {
+		t.Errorf("shared subplan ops = %d, want 4", len(shared.Ops))
+	}
+	if len(shared.Parents) != 2 {
+		t.Errorf("shared subplan parents = %d", len(shared.Parents))
+	}
+	// Children-first order: every subplan appears after its children.
+	pos := make(map[*Subplan]int)
+	for i, s := range g.Subplans {
+		pos[s] = i
+	}
+	for _, s := range g.Subplans {
+		for _, ch := range s.Children {
+			if pos[ch] >= pos[s] {
+				t.Errorf("subplan %d before its child %d", s.ID, ch.ID)
+			}
+		}
+	}
+	// Each query's root subplan is private.
+	for q := 0; q < sp.NumQueries(); q++ {
+		rs := g.QueryRootSubplan[q]
+		if rs.Queries.Count() != 1 || !rs.Queries.Has(q) {
+			t.Errorf("query %d root subplan queries = %s", q, rs.Queries)
+		}
+	}
+	if got := len(g.QuerySubplans(0)); got != 2 {
+		t.Errorf("QA participates in %d subplans, want 2", got)
+	}
+}
+
+func TestExtractSingleQueryOneSubplan(t *testing.T) {
+	c := testCatalog(t)
+	sp := buildShared(t, bindQuery(t, c, "QA", sqlQA))
+	g, err := Extract(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Subplans) != 1 {
+		t.Errorf("subplans = %d\n%s", len(g.Subplans), g.Explain())
+	}
+	if len(g.Subplans[0].Scans()) != 2 {
+		t.Errorf("scans = %d", len(g.Subplans[0].Scans()))
+	}
+}
+
+func TestSchemaStableUnderSharing(t *testing.T) {
+	// The shared join's schema equals the concatenation of its children's
+	// schemas regardless of how many queries merged into it.
+	c := testCatalog(t)
+	sp := buildShared(t,
+		bindQuery(t, c, "QA", sqlQA),
+		bindQuery(t, c, "QB", sqlQB),
+	)
+	for _, o := range sp.Ops {
+		if o.Kind == KindJoin && o.Queries.Count() == 2 {
+			want := len(o.Children[0].Schema()) + len(o.Children[1].Schema())
+			if got := len(o.Schema()); got != want {
+				t.Errorf("join schema width = %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+func TestExplainMentionsMarkers(t *testing.T) {
+	c := testCatalog(t)
+	sp := buildShared(t,
+		bindQuery(t, c, "QA", sqlQA),
+		bindQuery(t, c, "QB", sqlQB),
+	)
+	text := sp.Explain()
+	if !strings.Contains(text, "σ*") {
+		t.Errorf("explain lacks marker selects:\n%s", text)
+	}
+	if !strings.Contains(text, "QB") {
+		t.Errorf("explain lacks query names:\n%s", text)
+	}
+}

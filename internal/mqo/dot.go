@@ -1,0 +1,56 @@
+package mqo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the subplan graph in Graphviz DOT form: one cluster per
+// subplan (labeled with its query set), operator nodes inside, solid edges
+// for in-subplan dataflow and dashed edges for buffer boundaries between
+// subplans. Paces, when provided (indexed by subplan id, nil to omit), are
+// shown in the cluster labels.
+func (g *Graph) WriteDOT(w io.Writer, paces []int) error {
+	var b strings.Builder
+	b.WriteString("digraph ishare {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	for _, s := range g.Subplans {
+		label := fmt.Sprintf("subplan %d %s", s.ID, s.Queries)
+		if paces != nil && s.ID < len(paces) {
+			label += fmt.Sprintf(" pace %d", paces[s.ID])
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    style=rounded;\n", s.ID, label)
+		for _, o := range s.Ops {
+			fmt.Fprintf(&b, "    op%d [label=%q];\n", o.ID, dotLabel(o))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, s := range g.Subplans {
+		for _, o := range s.Ops {
+			for _, c := range o.Children {
+				style := ""
+				if g.SubplanOf(c) != s {
+					style = " [style=dashed, label=\"buffer\", fontsize=8]"
+				}
+				fmt.Fprintf(&b, "  op%d -> op%d%s;\n", c.ID, o.ID, style)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotLabel(o *Op) string {
+	label := o.Describe()
+	// DOT labels render better without the long marker predicates.
+	if i := strings.Index(label, " σ*"); i >= 0 {
+		label = label[:i] + " σ*"
+	}
+	if len(label) > 60 {
+		label = label[:57] + "..."
+	}
+	return label
+}

@@ -1,0 +1,100 @@
+package mqo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SharingReport summarizes how much work the shared plan deduplicates: per
+// operator kind, how many operators are shared by two or more queries, and
+// per query pair, how many operators they have in common. It is the
+// diagnostic behind the "should these queries be scheduled together?"
+// question.
+type SharingReport struct {
+	// TotalOps counts all operators in the plan.
+	TotalOps int
+	// SharedOps counts operators used by two or more queries.
+	SharedOps int
+	// ByKind maps operator kind to (total, shared) counts.
+	ByKind map[Kind][2]int
+	// PairShared maps query pairs (i<j) to the number of operators they
+	// share.
+	PairShared map[[2]int]int
+	// QueryNames mirror the plan's query names for rendering.
+	QueryNames []string
+}
+
+// Sharing computes the plan's sharing report.
+func (sp *SharedPlan) Sharing() *SharingReport {
+	r := &SharingReport{
+		ByKind:     make(map[Kind][2]int),
+		PairShared: make(map[[2]int]int),
+		QueryNames: append([]string(nil), sp.QueryNames...),
+	}
+	for _, o := range sp.Ops {
+		r.TotalOps++
+		counts := r.ByKind[o.Kind]
+		counts[0]++
+		members := o.Queries.Members()
+		if len(members) > 1 {
+			r.SharedOps++
+			counts[1]++
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					r.PairShared[[2]int{members[i], members[j]}]++
+				}
+			}
+		}
+		r.ByKind[o.Kind] = counts
+	}
+	return r
+}
+
+// Write renders the report.
+func (r *SharingReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "sharing: %d of %d operators shared\n", r.SharedOps, r.TotalOps)
+	kinds := make([]Kind, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		c := r.ByKind[k]
+		fmt.Fprintf(w, "  %-10s %d/%d shared\n", k, c[1], c[0])
+	}
+	type pairCount struct {
+		pair  [2]int
+		count int
+	}
+	pairs := make([]pairCount, 0, len(r.PairShared))
+	for p, c := range r.PairShared {
+		pairs = append(pairs, pairCount{p, c})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].count != pairs[j].count {
+			return pairs[i].count > pairs[j].count
+		}
+		return pairs[i].pair[0] < pairs[j].pair[0] ||
+			(pairs[i].pair[0] == pairs[j].pair[0] && pairs[i].pair[1] < pairs[j].pair[1])
+	})
+	for _, pc := range pairs {
+		a, b := pc.pair[0], pc.pair[1]
+		an, bn := fmt.Sprintf("q%d", a), fmt.Sprintf("q%d", b)
+		if a < len(r.QueryNames) {
+			an = r.QueryNames[a]
+		}
+		if b < len(r.QueryNames) {
+			bn = r.QueryNames[b]
+		}
+		fmt.Fprintf(w, "  %s + %s: %d shared operator(s)\n", an, bn, pc.count)
+	}
+}
+
+// String renders the report to a string.
+func (r *SharingReport) String() string {
+	var b strings.Builder
+	r.Write(&b)
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package mqo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subplan is a maximal region of the shared DAG whose operators all have a
+// single consumer, rooted at an operator with zero or multiple parents
+// (paper §2.2). The root's output is materialized into a buffer so parent
+// subplans can consume it at their own paces with per-consumer offsets; a
+// root with no parents is a query root whose output is the query's result.
+type Subplan struct {
+	// ID is the subplan's index in Graph.Subplans (children-first order).
+	ID int
+	// Root is the materializing operator.
+	Root *Op
+	// Ops lists the member operators children-first.
+	Ops []*Op
+	// Children are the subplans whose buffers feed this subplan's leaves.
+	Children []*Subplan
+	// Parents are the subplans consuming this subplan's buffer.
+	Parents []*Subplan
+	// Queries is the (uniform) query set of the member operators.
+	Queries Bitset
+}
+
+// Scans lists the base-table scan operators inside the subplan.
+func (s *Subplan) Scans() []*Op {
+	var out []*Op
+	for _, o := range s.Ops {
+		if o.Kind == KindScan {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Describe renders a short summary for diagnostics.
+func (s *Subplan) Describe() string {
+	return fmt.Sprintf("subplan#%d%s root=%s ops=%d", s.ID, s.Queries, s.Root.Describe(), len(s.Ops))
+}
+
+// Graph is the subplan-level view of a shared plan.
+type Graph struct {
+	Plan *SharedPlan
+	// Subplans is children-first: every subplan appears after all of its
+	// children.
+	Subplans []*Subplan
+	// QueryRootSubplan maps query id to the subplan producing its result.
+	QueryRootSubplan []*Subplan
+
+	opSubplan map[*Op]*Subplan
+}
+
+// SubplanOf returns the subplan containing the operator.
+func (g *Graph) SubplanOf(o *Op) *Subplan { return g.opSubplan[o] }
+
+// QuerySubplans lists the subplans query q participates in, children-first.
+func (g *Graph) QuerySubplans(q int) []*Subplan {
+	var out []*Subplan
+	for _, s := range g.Subplans {
+		if s.Queries.Has(q) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Extract cuts the shared plan into its subplan graph: subplans break at
+// operators with zero or multiple parents.
+func Extract(sp *SharedPlan) (*Graph, error) {
+	return ExtractWithCuts(sp, nil)
+}
+
+// ExtractWithCuts additionally forces a subplan boundary below every
+// operator for which cutAt returns true — e.g. cutting at blocking
+// (aggregate) operators reproduces the NoShare-Nonuniform baseline's
+// per-part pacing from prior work [44].
+func ExtractWithCuts(sp *SharedPlan, cutAt func(*Op) bool) (*Graph, error) {
+	g := &Graph{Plan: sp, opSubplan: make(map[*Op]*Subplan)}
+
+	// A subplan root is an operator with zero parents (query root), more
+	// than one parent slot (shared buffer), or a forced cut. Operators
+	// with exactly one parent belong to their parent's subplan.
+	memo := make(map[*Op]*Op) // op -> its subplan root
+	var rootOf func(o *Op) *Op
+	rootOf = func(o *Op) *Op {
+		if r, ok := memo[o]; ok {
+			return r
+		}
+		var r *Op
+		if len(o.Parents) == 1 && (cutAt == nil || !cutAt(o)) {
+			r = rootOf(o.Parents[0])
+		} else {
+			r = o
+		}
+		memo[o] = r
+		return r
+	}
+
+	// Group member ops by root; sp.Ops is already children-first.
+	byRoot := make(map[*Op]*Subplan)
+	for _, o := range sp.Ops {
+		r := rootOf(o)
+		s, ok := byRoot[r]
+		if !ok {
+			s = &Subplan{Root: r, Queries: r.Queries}
+			byRoot[r] = s
+		}
+		if !o.Queries.Contains(s.Queries) || !s.Queries.Contains(o.Queries) {
+			return nil, fmt.Errorf("mqo: subplan rooted at op %d has mixed query sets (%s vs %s at op %d)",
+				r.ID, s.Queries, o.Queries, o.ID)
+		}
+		s.Ops = append(s.Ops, o)
+		g.opSubplan[o] = s
+	}
+
+	// Deterministic order: children-first by root id. Because sp.Ops is
+	// children-first and roots are created in that order, sorting subplans
+	// by root ID keeps every subplan after its children — except that a
+	// child subplan's root may be created later than a parent's leaf ops.
+	// A topological sort over subplan edges guarantees the invariant.
+	all := make([]*Subplan, 0, len(byRoot))
+	for _, s := range byRoot {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Root.ID < all[j].Root.ID })
+
+	// Wire child/parent edges.
+	for _, s := range all {
+		seen := make(map[*Subplan]bool)
+		for _, o := range s.Ops {
+			for _, c := range o.Children {
+				cs := g.opSubplan[c]
+				if cs != s && !seen[cs] {
+					seen[cs] = true
+					s.Children = append(s.Children, cs)
+					cs.Parents = append(cs.Parents, s)
+				}
+			}
+		}
+	}
+
+	// Topological order children-first.
+	state := make(map[*Subplan]int) // 0 unvisited, 1 visiting, 2 done
+	var order []*Subplan
+	var visit func(s *Subplan) error
+	visit = func(s *Subplan) error {
+		switch state[s] {
+		case 1:
+			return fmt.Errorf("mqo: cycle in subplan graph at %s", s.Describe())
+		case 2:
+			return nil
+		}
+		state[s] = 1
+		for _, c := range s.Children {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		state[s] = 2
+		order = append(order, s)
+		return nil
+	}
+	for _, s := range all {
+		if err := visit(s); err != nil {
+			return nil, err
+		}
+	}
+	for i, s := range order {
+		s.ID = i
+	}
+	g.Subplans = order
+
+	g.QueryRootSubplan = make([]*Subplan, len(sp.QueryRoots))
+	for q, root := range sp.QueryRoots {
+		g.QueryRootSubplan[q] = g.opSubplan[root]
+	}
+	return g, nil
+}
+
+// Explain renders the subplan graph for diagnostics.
+func (g *Graph) Explain() string {
+	var b strings.Builder
+	for _, s := range g.Subplans {
+		fmt.Fprintf(&b, "%s\n", s.Describe())
+		for _, o := range s.Ops {
+			fmt.Fprintf(&b, "    #%d %s\n", o.ID, o.Describe())
+		}
+		if len(s.Children) > 0 {
+			ids := make([]string, len(s.Children))
+			for i, c := range s.Children {
+				ids[i] = fmt.Sprintf("#%d", c.ID)
+			}
+			fmt.Fprintf(&b, "    <- children %s\n", strings.Join(ids, ","))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"ishare/internal/cost"
+)
+
+func TestExecuteWithCalibrationImprovesEstimates(t *testing.T) {
+	queries, ds := bindSet(t, "Q1", "Q5", "Q15")
+	abs, err := AbsoluteConstraints(queries, []float64{0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Queries: queries, Constraints: abs, MaxPace: 20}
+	p, err := Plan(IShareNoUnshare, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, calib, err := ExecuteWithCalibration(p, ds, len(queries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calib) == 0 {
+		t.Fatal("no calibration factors derived")
+	}
+	for sig, f := range calib {
+		if f.Work < 0 || f.Out < 0 || f.Work > 8 || f.Out > 8 {
+			t.Errorf("factor out of clamp range for %q: %+v", sig, f)
+		}
+	}
+	// A calibrated model's total-work estimate must land closer to the
+	// measured total than the raw model's.
+	job := p.Jobs[0]
+	raw := cost.NewModel(job.Graph)
+	rawEval, err := raw.Evaluate(job.Paces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := cost.NewModel(job.Graph)
+	cal.SetCalibration(calib)
+	calEval, err := cal.Evaluate(job.Paces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(outcome.TotalWork)
+	rawErr := math.Abs(rawEval.Total - measured)
+	calErr := math.Abs(calEval.Total - measured)
+	if calErr > rawErr {
+		t.Errorf("calibration worsened the estimate: |%0.f-%0.f|=%.0f vs raw %.0f",
+			calEval.Total, measured, calErr, rawErr)
+	}
+}
+
+func TestCalibrationFlowsThroughPlan(t *testing.T) {
+	queries, ds := bindSet(t, "Q6", "Q14")
+	abs, err := AbsoluteConstraints(queries, []float64{0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Queries: queries, Constraints: abs, MaxPace: 15}
+	p1, err := Plan(IShare, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, calib, err := ExecuteWithCalibration(p1, ds, len(queries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Calibration = calib
+	for _, a := range []Approach{IShare, NoShareUniform, NoShareNonuniform, ShareUniform} {
+		p2, err := Plan(a, req)
+		if err != nil {
+			t.Fatalf("%s with calibration: %v", a, err)
+		}
+		if _, err := Execute(p2, ds, len(queries)); err != nil {
+			t.Fatalf("%s execute: %v", a, err)
+		}
+	}
+}
+
+func TestCalibrationFromRunValidation(t *testing.T) {
+	queries, _ := bindSet(t, "Q6")
+	p, err := Plan(IShareNoUnshare, Request{
+		Queries:     queries,
+		Constraints: []float64{1e12},
+		MaxPace:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.NewModel(p.Jobs[0].Graph)
+	if _, err := cost.CalibrationFromRun(m, p.Jobs[0].Paces, []float64{1}, []float64{1}, []float64{1, 2, 3}); err == nil {
+		t.Error("mismatched measurement lengths accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ishare/internal/cost"
+	"ishare/internal/mqo"
+	"ishare/internal/plan"
+)
+
+// PlanState is the serializable essence of an optimized plan: enough to
+// reconstruct the same shared plan, decomposition and pace configuration for
+// the next recurrence of the same query set without re-optimizing. Paces
+// and splits are keyed by subplan-root base signatures, which are stable
+// across rebuilds of the same queries.
+type PlanState struct {
+	// Approach records which system produced the plan.
+	Approach Approach `json:"approach"`
+	// Jobs holds one entry per executable job.
+	Jobs []JobState `json:"jobs"`
+	// Calibration carries the correction factors active when the plan was
+	// saved, if any.
+	Calibration cost.Calibration `json:"calibration,omitempty"`
+}
+
+// JobState is one job's serialized configuration.
+type JobState struct {
+	// QueryIDs are the global query indexes the job computes.
+	QueryIDs []int `json:"query_ids"`
+	// Paces maps subplan-root base signatures to paces.
+	Paces map[string]int `json:"paces"`
+	// Splits records the decomposition: split operators' base signatures
+	// to query-set partitions (bitset values).
+	Splits map[string][]uint64 `json:"splits,omitempty"`
+}
+
+// Save serializes a planned configuration, including any decomposition
+// splits adopted by iShare.
+func Save(p *Planned) ([]byte, error) {
+	st := PlanState{Approach: p.Approach}
+	for ji, job := range p.Jobs {
+		js := JobState{
+			QueryIDs: append([]int(nil), job.QueryIDs...),
+			Paces:    make(map[string]int, len(job.Graph.Subplans)),
+		}
+		for _, s := range job.Graph.Subplans {
+			js.Paces[s.Root.BaseSignature()] = job.Paces[s.ID]
+		}
+		// Splits belong to the (single) shared job of iShare plans.
+		if ji == 0 && len(p.Splits) > 0 {
+			js.Splits = make(map[string][]uint64, len(p.Splits))
+			for sig, parts := range p.Splits {
+				enc := make([]uint64, len(parts))
+				for i, part := range parts {
+					enc[i] = uint64(part)
+				}
+				js.Splits[sig] = enc
+			}
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return json.MarshalIndent(st, "", "  ")
+}
+
+// Load reconstructs an executable plan for the given (identical) query set
+// from a saved state: it rebuilds the shared plan under the recorded splits
+// and maps the recorded paces back onto the new subplans. Subplans that
+// cannot be matched (the query set changed) default to pace 1; callers that
+// changed the workload should re-optimize instead.
+func Load(data []byte, queries []plan.Query) (*Planned, error) {
+	var st PlanState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("opt: corrupt plan state: %w", err)
+	}
+	out := &Planned{Approach: st.Approach}
+	for _, js := range st.Jobs {
+		sub := make([]plan.Query, 0, len(js.QueryIDs))
+		for _, qid := range js.QueryIDs {
+			if qid < 0 || qid >= len(queries) {
+				return nil, fmt.Errorf("opt: plan state references query %d of %d", qid, len(queries))
+			}
+			sub = append(sub, queries[qid])
+		}
+		opts := mqo.BuildOptions{}
+		if len(js.Splits) > 0 {
+			splits := make(map[string][]mqo.Bitset, len(js.Splits))
+			for sig, enc := range js.Splits {
+				parts := make([]mqo.Bitset, len(enc))
+				for i, v := range enc {
+					parts[i] = mqo.Bitset(v)
+				}
+				splits[sig] = parts
+			}
+			opts.Classes = func(sig string, q int) int {
+				for i, p := range splits[sig] {
+					if p.Has(q) {
+						return i + 1
+					}
+				}
+				return 0
+			}
+		}
+		sp, err := mqo.BuildWithOptions(sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		g, err := mqo.Extract(sp)
+		if err != nil {
+			return nil, err
+		}
+		paces := make([]int, len(g.Subplans))
+		for _, s := range g.Subplans {
+			if p, ok := js.Paces[s.Root.BaseSignature()]; ok && p >= 1 {
+				paces[s.ID] = p
+			} else {
+				paces[s.ID] = 1
+			}
+		}
+		// Re-establish parent<=child in case of unmatched subplans.
+		for i := len(g.Subplans) - 1; i >= 0; i-- {
+			s := g.Subplans[i]
+			for _, c := range s.Children {
+				if paces[c.ID] < paces[s.ID] {
+					paces[c.ID] = paces[s.ID]
+				}
+			}
+		}
+		out.Jobs = append(out.Jobs, Job{Graph: g, Paces: paces, QueryIDs: js.QueryIDs})
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+// Package pace implements iShare's pace-configuration search (paper §3):
+// the incrementability metric redefined for shared execution with per-query
+// final-work constraints (Equations 1–2), the greedy search that repeatedly
+// raises the pace of the subplan with the highest incrementability, and the
+// reverse greedy used after subplan decomposition that lowers the pace of
+// the subplan with the lowest incrementability.
+package pace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ishare/internal/cost"
+)
+
+// ErrDeadline is returned when an optimizer exceeds its deadline (the
+// experiments mark such runs DNF, as the paper does for the
+// no-memoization baseline in Figure 15).
+var ErrDeadline = errors.New("pace: optimization deadline exceeded")
+
+// Optimizer searches pace configurations against a cost model.
+type Optimizer struct {
+	// Model evaluates configurations.
+	Model *cost.Model
+	// MaxPace is J, the largest allowed pace per subplan.
+	MaxPace int
+	// Constraints holds each query's absolute final-work constraint L(q)
+	// in cost-model units.
+	Constraints []float64
+	// Deadline, when nonzero, aborts the search with ErrDeadline.
+	Deadline time.Time
+
+	// Steps counts greedy iterations; Evals counts cost evaluations.
+	Steps, Evals int64
+}
+
+// NewOptimizer wires an optimizer.
+func NewOptimizer(m *cost.Model, constraints []float64, maxPace int) (*Optimizer, error) {
+	if maxPace < 1 {
+		return nil, fmt.Errorf("pace: max pace %d < 1", maxPace)
+	}
+	if len(constraints) != m.Graph.Plan.NumQueries() {
+		return nil, fmt.Errorf("pace: %d constraints for %d queries", len(constraints), m.Graph.Plan.NumQueries())
+	}
+	return &Optimizer{Model: m, MaxPace: maxPace, Constraints: constraints}, nil
+}
+
+// Benefit implements Equation 1: the reduction in missed final work going
+// from the lazier evaluation b to the eagerer evaluation a, bounded below by
+// each query's constraint.
+func (o *Optimizer) Benefit(a, b cost.Eval) float64 {
+	var sum float64
+	for q, l := range o.Constraints {
+		bounded := math.Max(l, a.QueryFinal[q])
+		if d := b.QueryFinal[q] - bounded; d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// Incrementability implements Equation 2 for eager evaluation a vs lazy b.
+// A configuration that reduces total work while helping (or not hurting)
+// returns +Inf: it strictly dominates.
+func (o *Optimizer) Incrementability(a, b cost.Eval) float64 {
+	ben := o.Benefit(a, b)
+	dT := a.Total - b.Total
+	if dT <= 0 {
+		if ben > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return ben / dT
+}
+
+// meets reports whether every query's final work is within its constraint.
+func (o *Optimizer) meets(e cost.Eval) bool {
+	for q, l := range o.Constraints {
+		if e.QueryFinal[q] > l {
+			return false
+		}
+	}
+	return true
+}
+
+// eval wraps Model.Evaluate with bookkeeping and deadline enforcement.
+func (o *Optimizer) eval(p []int) (cost.Eval, error) {
+	if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
+		return cost.Eval{}, ErrDeadline
+	}
+	o.Evals++
+	return o.Model.Evaluate(p)
+}
+
+// childMin returns the minimum pace among subplan i's children (MaxPace+1
+// when it has none): a parent's pace may not exceed any child's.
+func (o *Optimizer) childMin(i int, p []int) int {
+	s := o.Model.Graph.Subplans[i]
+	min := o.MaxPace + 1
+	for _, c := range s.Children {
+		if p[c.ID] < min {
+			min = p[c.ID]
+		}
+	}
+	return min
+}
+
+// parentMax returns the maximum pace among subplan i's parents (0 when it
+// has none): lowering a child's pace below a parent's would starve it.
+func (o *Optimizer) parentMax(i int, p []int) int {
+	s := o.Model.Graph.Subplans[i]
+	max := 0
+	for _, par := range s.Parents {
+		if p[par.ID] > max {
+			max = p[par.ID]
+		}
+	}
+	return max
+}
+
+// Greedy finds a pace configuration starting from batch execution (all
+// paces 1), repeatedly raising the pace of the subplan with the highest
+// incrementability until every constraint is met, every pace reaches
+// MaxPace, or no single increment yields any benefit.
+func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
+	n := len(o.Model.Graph.Subplans)
+	p := make([]int, n)
+	for i := range p {
+		p[i] = 1
+	}
+	cur, err := o.eval(p)
+	if err != nil {
+		return nil, cost.Eval{}, err
+	}
+	for {
+		if o.meets(cur) || o.allAtMax(p) {
+			return p, cur, nil
+		}
+		o.Steps++
+		best := -1
+		bestInc := 0.0
+		var bestEval cost.Eval
+		for i := 0; i < n; i++ {
+			if p[i] >= o.MaxPace {
+				continue
+			}
+			if p[i]+1 > o.childMin(i, p) {
+				continue // would out-pace a child subplan
+			}
+			p[i]++
+			cand, err := o.eval(p)
+			p[i]--
+			if err != nil {
+				return nil, cost.Eval{}, err
+			}
+			inc := o.Incrementability(cand, cur)
+			if best == -1 || inc > bestInc {
+				best, bestInc, bestEval = i, inc, cand
+			}
+		}
+		if best != -1 && bestInc > 0 {
+			p[best]++
+			cur = bestEval
+			continue
+		}
+		// No single increment reduces any query's missed final work.
+		// Speeding up a subplan alone can be self-defeating — its extra
+		// retraction churn inflates its parents' final executions — so
+		// try chain increments: a subplan together with its upward
+		// closure of ancestors, which consume the churn eagerly too.
+		chain, chainEval, chainInc, err := o.bestChain(p, cur)
+		if err != nil {
+			return nil, cost.Eval{}, err
+		}
+		if chain == nil || chainInc <= 0 {
+			// The remaining misses are not incrementable at this
+			// granularity.
+			return p, cur, nil
+		}
+		copy(p, chain)
+		cur = chainEval
+	}
+}
+
+// bestChain evaluates, for each subplan below MaxPace, the candidate that
+// increments the subplan and all of its transitive parents by one, skipping
+// candidates that would violate the parent≤child pace order elsewhere.
+func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64, error) {
+	g := o.Model.Graph
+	var best []int
+	bestInc := 0.0
+	var bestEval cost.Eval
+	for i := range g.Subplans {
+		if p[i] >= o.MaxPace {
+			continue
+		}
+		closure := map[int]bool{i: true}
+		var expand func(s int)
+		expand = func(s int) {
+			for _, par := range g.Subplans[s].Parents {
+				if !closure[par.ID] {
+					closure[par.ID] = true
+					expand(par.ID)
+				}
+			}
+		}
+		expand(i)
+		cand := append([]int(nil), p...)
+		valid := true
+		for id := range closure {
+			cand[id]++
+			if cand[id] > o.MaxPace {
+				valid = false
+			}
+		}
+		if !valid {
+			continue
+		}
+		for _, s := range g.Subplans {
+			for _, c := range s.Children {
+				if cand[s.ID] > cand[c.ID] {
+					valid = false
+				}
+			}
+		}
+		if !valid {
+			continue
+		}
+		ev, err := o.eval(cand)
+		if err != nil {
+			return nil, cost.Eval{}, 0, err
+		}
+		if inc := o.Incrementability(ev, cur); inc > bestInc {
+			best, bestInc, bestEval = cand, inc, ev
+		}
+	}
+	return best, bestEval, bestInc, nil
+}
+
+// ReverseGreedy starts from an eager configuration and repeatedly lowers
+// the pace of the subplan with the lowest incrementability — the one whose
+// eagerness buys the least — as long as no query's bounded final work gets
+// worse (paper §4.2). It is used to re-find paces after decomposition.
+func (o *Optimizer) ReverseGreedy(start []int) ([]int, cost.Eval, error) {
+	n := len(o.Model.Graph.Subplans)
+	p := append([]int(nil), start...)
+	cur, err := o.eval(p)
+	if err != nil {
+		return nil, cost.Eval{}, err
+	}
+	for {
+		o.Steps++
+		best := -1
+		bestInc := math.Inf(1)
+		var bestEval cost.Eval
+		for i := 0; i < n; i++ {
+			if p[i] <= 1 {
+				continue
+			}
+			if p[i]-1 < o.parentMax(i, p) {
+				continue // a parent would out-pace this subplan
+			}
+			p[i]--
+			cand, err := o.eval(p)
+			p[i]++
+			if err != nil {
+				return nil, cost.Eval{}, err
+			}
+			if !o.noNewMisses(cand, cur) {
+				continue
+			}
+			// Lost benefit per unit of work saved: cur is the eager side.
+			inc := o.Incrementability(cur, cand)
+			if inc < bestInc {
+				best, bestInc, bestEval = i, inc, cand
+			}
+		}
+		if best == -1 {
+			return p, cur, nil
+		}
+		if bestEval.Total >= cur.Total && bestInc > 0 {
+			// Laziness must save work unless it is free.
+			return p, cur, nil
+		}
+		p[best]--
+		cur = bestEval
+	}
+}
+
+// noNewMisses reports whether cand's final work stays within each query's
+// constraint, or at least does not exceed cur's existing miss.
+func (o *Optimizer) noNewMisses(cand, cur cost.Eval) bool {
+	for q, l := range o.Constraints {
+		bound := math.Max(l, cur.QueryFinal[q])
+		if cand.QueryFinal[q] > bound+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Optimizer) allAtMax(p []int) bool {
+	for _, v := range p {
+		if v < o.MaxPace {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the batch configuration for a graph of n subplans.
+func Ones(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}

@@ -1,0 +1,610 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ishare/internal/catalog"
+	"ishare/internal/expr"
+	"ishare/internal/sqlparser"
+	"ishare/internal/value"
+)
+
+// Bind resolves a parsed SELECT statement against the catalog and produces a
+// logical plan: pushed-down selects above scans, a left-deep tree of inner
+// equi-joins in FROM order (cross joins for scalar-subquery items), residual
+// selects, an aggregate when needed, and a final project.
+func Bind(stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (Node, error) {
+	b := &binder{cat: cat}
+	return b.bindSelect(stmt)
+}
+
+// ParseAndBind parses SQL text and binds it in one step.
+func ParseAndBind(sql string, cat *catalog.Catalog) (Node, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(stmt, cat)
+}
+
+type binder struct {
+	cat *catalog.Catalog
+}
+
+// fromSource is one bound FROM item: its plan and position in the combined
+// row.
+type fromSource struct {
+	alias  string
+	node   Node
+	offset int // start of this item's fields in the combined schema
+	width  int
+}
+
+func (b *binder) bindSelect(stmt *sqlparser.SelectStmt) (Node, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: FROM clause is required")
+	}
+	// Bind FROM items.
+	sources := make([]fromSource, 0, len(stmt.From))
+	offset := 0
+	for _, fi := range stmt.From {
+		var n Node
+		var err error
+		switch {
+		case fi.Sub != nil:
+			n, err = b.bindSelect(fi.Sub)
+			if err == nil {
+				n = exportGroupKeys(n)
+			}
+		default:
+			var t *catalog.Table
+			t, err = b.cat.Lookup(fi.Table)
+			if err == nil {
+				n = &Scan{Table: t}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		w := len(n.Schema())
+		sources = append(sources, fromSource{alias: fi.Alias, node: n, offset: offset, width: w})
+		offset += w
+	}
+	scope := newScope(sources)
+
+	// Classify WHERE conjuncts.
+	var (
+		perSource = make([][]expr.Expr, len(sources)) // pushed-down filters
+		joinPreds []joinPred                          // equi predicates across items
+		residual  []expr.Expr                         // everything else
+	)
+	if stmt.Where != nil {
+		bound, err := b.bindExpr(stmt.Where, scope, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range expr.Conjuncts(bound) {
+			srcs := scope.sourcesOf(c)
+			switch {
+			case len(srcs) == 1:
+				perSource[srcs[0]] = append(perSource[srcs[0]], c)
+			case len(srcs) == 2 && isColEqCol(c):
+				eq := c.(*expr.Binary)
+				l := eq.L.(*expr.Column)
+				r := eq.R.(*expr.Column)
+				joinPreds = append(joinPreds, joinPred{l.Index, r.Index})
+			default:
+				residual = append(residual, c)
+			}
+		}
+	}
+
+	// Push single-source predicates below the joins.
+	for i, preds := range perSource {
+		if len(preds) == 0 {
+			continue
+		}
+		local := make([]expr.Expr, len(preds))
+		m := shiftMap(preds, -sources[i].offset)
+		for j, p := range preds {
+			local[j] = expr.Remap(p, m)
+		}
+		sources[i].node = &Select{Input: sources[i].node, Pred: expr.And(local...)}
+	}
+
+	// Left-deep join tree in FROM order. Keys are the equi predicates whose
+	// sides fall in the joined prefix and the incoming item.
+	tree := sources[0].node
+	prefixWidth := sources[0].width
+	for i := 1; i < len(sources); i++ {
+		src := sources[i]
+		var lk, rk []int
+		rest := joinPreds[:0]
+		for _, jp := range joinPreds {
+			a, c := jp.a, jp.b
+			if a > c {
+				a, c = c, a
+			}
+			if a < prefixWidth && c >= src.offset && c < src.offset+src.width {
+				lk = append(lk, a)
+				rk = append(rk, c-src.offset)
+			} else {
+				rest = append(rest, jp)
+			}
+		}
+		joinPreds = rest
+		tree = &Join{Left: tree, Right: src.node, LeftKeys: lk, RightKeys: rk}
+		prefixWidth += src.width
+	}
+	// Any join predicate not consumed (e.g. referencing a later prefix) is a
+	// residual filter over the combined schema.
+	for _, jp := range joinPreds {
+		ls := scope.fields
+		residual = append(residual, &expr.Binary{
+			Op: expr.OpEq,
+			L:  &expr.Column{Index: jp.a, Name: ls[jp.a].Name, Kind: ls[jp.a].Kind},
+			R:  &expr.Column{Index: jp.b, Name: ls[jp.b].Name, Kind: ls[jp.b].Kind},
+		})
+	}
+	if len(residual) > 0 {
+		tree = &Select{Input: tree, Pred: expr.And(residual...)}
+	}
+
+	return b.bindOutput(stmt, tree, scope)
+}
+
+type joinPred struct{ a, b int }
+
+// exportGroupKeys widens a derived table's projection with any group-by
+// columns the select list omitted. The paper's example queries reference a
+// subquery's grouping key from the outer block (e.g. joining on l_partkey
+// through agg_l), so the dialect makes grouping keys implicitly visible.
+func exportGroupKeys(n Node) Node {
+	p, ok := n.(*Project)
+	if !ok {
+		return n
+	}
+	in := p.Input
+	if s, ok := in.(*Select); ok {
+		in = s.Input
+	}
+	a, ok := in.(*Aggregate)
+	if !ok {
+		return n
+	}
+	have := make(map[int]bool)
+	for _, ne := range p.Exprs {
+		if c, ok := ne.E.(*expr.Column); ok {
+			have[c.Index] = true
+		}
+	}
+	exprs := p.Exprs
+	for i, g := range a.GroupBy {
+		if !have[i] {
+			exprs = append(exprs, NamedExpr{
+				Name: g.Name,
+				E:    &expr.Column{Index: i, Name: g.Name, Kind: g.E.Type()},
+			})
+		}
+	}
+	return &Project{Input: p.Input, Exprs: exprs}
+}
+
+func isColEqCol(e expr.Expr) bool {
+	bin, ok := e.(*expr.Binary)
+	if !ok || bin.Op != expr.OpEq {
+		return false
+	}
+	_, lok := bin.L.(*expr.Column)
+	_, rok := bin.R.(*expr.Column)
+	return lok && rok
+}
+
+// shiftMap builds a remapping that shifts every referenced column by delta.
+func shiftMap(exprs []expr.Expr, delta int) map[int]int {
+	m := make(map[int]int)
+	for _, e := range exprs {
+		for _, c := range expr.Columns(e) {
+			m[c] = c + delta
+		}
+	}
+	return m
+}
+
+// bindOutput handles GROUP BY, aggregates, HAVING and the final projection.
+func (b *binder) bindOutput(stmt *sqlparser.SelectStmt, input Node, scope *scope) (Node, error) {
+	// Collect aggregate calls from the select list and HAVING.
+	var collected []aggUse
+	hasAgg := false
+	for _, item := range stmt.Items {
+		if containsAgg(item.E) {
+			hasAgg = true
+		}
+	}
+	if stmt.Having != nil {
+		if !hasAgg && len(stmt.GroupBy) == 0 {
+			return nil, fmt.Errorf("plan: HAVING requires aggregation")
+		}
+		hasAgg = hasAgg || containsAgg(stmt.Having)
+	}
+	if !hasAgg && len(stmt.GroupBy) == 0 {
+		// Plain projection.
+		exprs := make([]NamedExpr, len(stmt.Items))
+		for i, item := range stmt.Items {
+			e, err := b.bindExpr(item.E, scope, nil)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = NamedExpr{Name: b.itemName(item, i), E: e}
+		}
+		return &Project{Input: input, Exprs: exprs}, nil
+	}
+
+	// Bind group-by expressions over the join output.
+	groups := make([]NamedExpr, len(stmt.GroupBy))
+	groupKeys := make([]string, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		e, err := b.bindExpr(g, scope, nil)
+		if err != nil {
+			return nil, err
+		}
+		name := "group_" + strconv.Itoa(i)
+		if c, ok := e.(*expr.Column); ok {
+			name = c.Name
+		}
+		groups[i] = NamedExpr{Name: name, E: e}
+		groupKeys[i] = expr.Canon(e)
+	}
+
+	// Rewrite select items and HAVING: aggregate calls become references to
+	// aggregate outputs, group expressions become references to group
+	// columns.
+	agg := &Aggregate{Input: input, GroupBy: groups}
+	rw := &aggRewriter{
+		b:         b,
+		scope:     scope,
+		agg:       agg,
+		groupKeys: groupKeys,
+		uses:      &collected,
+	}
+	exprs := make([]NamedExpr, len(stmt.Items))
+	for i, item := range stmt.Items {
+		e, err := rw.rewrite(item.E)
+		if err != nil {
+			return nil, err
+		}
+		name := b.itemName(item, i)
+		exprs[i] = NamedExpr{Name: name, E: e}
+	}
+	var havingPred expr.Expr
+	if stmt.Having != nil {
+		e, err := rw.rewrite(stmt.Having)
+		if err != nil {
+			return nil, err
+		}
+		havingPred = e
+	}
+	// Name aggregate outputs after their only consumer when unambiguous:
+	// SELECT SUM(x) AS total ... names the aggregate column "total", which
+	// matters for outer queries referencing subquery fields.
+	for i := range stmt.Items {
+		if c, ok := exprs[i].E.(*expr.Column); ok && c.Index >= len(groups) {
+			spec := &agg.Aggs[c.Index-len(groups)]
+			if spec.Name == "" || strings.HasPrefix(spec.Name, "agg_") {
+				spec.Name = exprs[i].Name
+				c.Name = exprs[i].Name
+			}
+		}
+	}
+
+	var out Node = agg
+	if havingPred != nil {
+		out = &Select{Input: out, Pred: havingPred}
+	}
+	return &Project{Input: out, Exprs: exprs}, nil
+}
+
+// itemName derives the output column name of a select item.
+func (b *binder) itemName(item sqlparser.SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.E.(*sqlparser.Ident); ok {
+		return id.Name
+	}
+	if f, ok := item.E.(*sqlparser.FuncExpr); ok {
+		if id, ok2 := f.Arg.(*sqlparser.Ident); ok2 {
+			return f.Name + "_" + id.Name
+		}
+		return f.Name
+	}
+	return "col_" + strconv.Itoa(i)
+}
+
+type aggUse struct {
+	spec AggSpec
+	key  string
+}
+
+// aggRewriter rewrites an AST expression into an expression over the
+// aggregate's output schema (groups then aggs), registering aggregate specs
+// on demand and deduplicating identical calls.
+type aggRewriter struct {
+	b         *binder
+	scope     *scope
+	agg       *Aggregate
+	groupKeys []string
+	uses      *[]aggUse
+}
+
+func (rw *aggRewriter) rewrite(e sqlparser.Expr) (expr.Expr, error) {
+	// Aggregate call: bind the argument over the input scope.
+	if f, ok := e.(*sqlparser.FuncExpr); ok {
+		return rw.rewriteAgg(f)
+	}
+	// Group expression: bind over input and match group keys.
+	bound, err := rw.b.bindExpr(e, rw.scope, nil)
+	if err == nil {
+		key := expr.Canon(bound)
+		for i, gk := range rw.groupKeys {
+			if gk == key {
+				g := rw.agg.GroupBy[i]
+				return &expr.Column{Index: i, Name: g.Name, Kind: g.E.Type()}, nil
+			}
+		}
+	}
+	// Otherwise recurse structurally so expressions over aggregates and
+	// groups (e.g. SUM(a)/SUM(b)) work.
+	switch n := e.(type) {
+	case *sqlparser.BinExpr:
+		l, err := rw.rewrite(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Binary{Op: binOp(n.Op), L: l, R: r}, nil
+	case *sqlparser.UnExpr:
+		inner, err := rw.rewrite(n.E)
+		if err != nil {
+			return nil, err
+		}
+		op := expr.OpNeg
+		if n.Op == "NOT" {
+			op = expr.OpNot
+		}
+		return &expr.Unary{Op: op, E: inner}, nil
+	case *sqlparser.NumLit, *sqlparser.StrLit:
+		return rw.b.bindExpr(e, rw.scope, nil)
+	default:
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("plan: expression %v is neither a group key nor an aggregate", e)
+	}
+}
+
+func (rw *aggRewriter) rewriteAgg(f *sqlparser.FuncExpr) (expr.Expr, error) {
+	var arg expr.Expr
+	if !f.Star {
+		bound, err := rw.b.bindExpr(f.Arg, rw.scope, nil)
+		if err != nil {
+			return nil, err
+		}
+		arg = bound
+	}
+	fn, err := aggFuncOf(f.Name)
+	if err != nil {
+		return nil, err
+	}
+	spec := AggSpec{Func: fn, Arg: arg}
+	key := spec.signature()
+	for _, u := range *rw.uses {
+		if u.key == key {
+			return rw.colFor(u.spec), nil
+		}
+	}
+	spec.Name = "agg_" + strconv.Itoa(len(rw.agg.Aggs))
+	rw.agg.Aggs = append(rw.agg.Aggs, spec)
+	*rw.uses = append(*rw.uses, aggUse{spec: spec, key: key})
+	return rw.colFor(spec), nil
+}
+
+func (rw *aggRewriter) colFor(spec AggSpec) expr.Expr {
+	for i, s := range rw.agg.Aggs {
+		if s.signature() == spec.signature() {
+			return &expr.Column{Index: len(rw.agg.GroupBy) + i, Name: s.Name, Kind: s.ResultKind()}
+		}
+	}
+	panic("plan: aggregate spec vanished")
+}
+
+func aggFuncOf(name string) (AggFunc, error) {
+	switch name {
+	case "sum":
+		return AggSum, nil
+	case "count":
+		return AggCount, nil
+	case "avg":
+		return AggAvg, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	default:
+		return 0, fmt.Errorf("plan: unknown aggregate %q", name)
+	}
+}
+
+func containsAgg(e sqlparser.Expr) bool {
+	switch n := e.(type) {
+	case *sqlparser.FuncExpr:
+		return true
+	case *sqlparser.BinExpr:
+		return containsAgg(n.L) || containsAgg(n.R)
+	case *sqlparser.UnExpr:
+		return containsAgg(n.E)
+	default:
+		return false
+	}
+}
+
+// scope resolves column names against the combined FROM schema.
+type scope struct {
+	sources []fromSource
+	fields  []Field
+	// byQual maps "alias.col" to the global index.
+	byQual map[string]int
+	// byName maps unqualified names to indexes; ambiguous names map to -1.
+	byName map[string]int
+	// sourceOf maps global index to source ordinal.
+	sourceOf []int
+}
+
+func newScope(sources []fromSource) *scope {
+	s := &scope{
+		sources: sources,
+		byQual:  make(map[string]int),
+		byName:  make(map[string]int),
+	}
+	for si, src := range sources {
+		for fi, f := range src.node.Schema() {
+			g := src.offset + fi
+			s.fields = append(s.fields, f)
+			s.sourceOf = append(s.sourceOf, si)
+			s.byQual[src.alias+"."+f.Name] = g
+			if _, dup := s.byName[f.Name]; dup {
+				s.byName[f.Name] = -1
+			} else {
+				s.byName[f.Name] = g
+			}
+		}
+	}
+	return s
+}
+
+// resolve returns the global index of a column reference.
+func (s *scope) resolve(id *sqlparser.Ident) (int, error) {
+	if id.Qual != "" {
+		if g, ok := s.byQual[id.Qual+"."+id.Name]; ok {
+			return g, nil
+		}
+		return 0, fmt.Errorf("plan: unknown column %s.%s", id.Qual, id.Name)
+	}
+	g, ok := s.byName[id.Name]
+	if !ok {
+		return 0, fmt.Errorf("plan: unknown column %s", id.Name)
+	}
+	if g == -1 {
+		return 0, fmt.Errorf("plan: ambiguous column %s", id.Name)
+	}
+	return g, nil
+}
+
+// sourcesOf lists the distinct FROM sources referenced by an expression.
+func (s *scope) sourcesOf(e expr.Expr) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range expr.Columns(e) {
+		si := s.sourceOf[c]
+		if !seen[si] {
+			seen[si] = true
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func binOp(op string) expr.Op {
+	switch op {
+	case "+":
+		return expr.OpAdd
+	case "-":
+		return expr.OpSub
+	case "*":
+		return expr.OpMul
+	case "/":
+		return expr.OpDiv
+	case "=":
+		return expr.OpEq
+	case "<>":
+		return expr.OpNe
+	case "<":
+		return expr.OpLt
+	case "<=":
+		return expr.OpLe
+	case ">":
+		return expr.OpGt
+	case ">=":
+		return expr.OpGe
+	case "AND":
+		return expr.OpAnd
+	case "OR":
+		return expr.OpOr
+	default:
+		panic("plan: unknown operator " + op)
+	}
+}
+
+// bindExpr binds an AST expression over the scope. The extra map, when
+// non-nil, overrides identifier resolution (unused today, reserved for
+// correlated contexts).
+func (b *binder) bindExpr(e sqlparser.Expr, s *scope, _ map[string]int) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *sqlparser.Ident:
+		g, err := s.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Column{Index: g, Name: s.fields[g].Name, Kind: s.fields[g].Kind}, nil
+	case *sqlparser.NumLit:
+		if n.Float {
+			f, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("plan: bad number %q", n.Text)
+			}
+			return &expr.Const{Val: value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(n.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("plan: bad number %q", n.Text)
+		}
+		return &expr.Const{Val: value.Int(i)}, nil
+	case *sqlparser.StrLit:
+		return &expr.Const{Val: value.Str(n.Val)}, nil
+	case *sqlparser.BinExpr:
+		l, err := b.bindExpr(n.L, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(n.R, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Binary{Op: binOp(n.Op), L: l, R: r}, nil
+	case *sqlparser.UnExpr:
+		inner, err := b.bindExpr(n.E, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		op := expr.OpNeg
+		if n.Op == "NOT" {
+			op = expr.OpNot
+		}
+		return &expr.Unary{Op: op, E: inner}, nil
+	case *sqlparser.LikeExpr:
+		inner, err := b.bindExpr(n.E, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewLike(inner, n.Pattern, n.Negate), nil
+	case *sqlparser.FuncExpr:
+		return nil, fmt.Errorf("plan: aggregate %s not allowed here", strings.ToUpper(n.Name))
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}

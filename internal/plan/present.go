@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"ishare/internal/catalog"
+	"ishare/internal/sqlparser"
+	"ishare/internal/value"
+)
+
+// OrderSpec is one presentation ordering key over the query's output
+// columns.
+type OrderSpec struct {
+	// Col is the output column position.
+	Col int
+	// Desc inverts the ordering.
+	Desc bool
+}
+
+// Presentation captures ORDER BY / LIMIT. They are presentation-only: the
+// engine maintains the unordered result incrementally (sorting is not
+// usefully incremental) and the ordering is applied when results are read.
+type Presentation struct {
+	OrderBy []OrderSpec
+	// Limit caps presented rows; negative means no limit.
+	Limit int
+}
+
+// BindQuery binds a parsed statement into a named query with presentation.
+func BindQuery(name string, stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (Query, error) {
+	root, err := Bind(stmt, cat)
+	if err != nil {
+		return Query{}, err
+	}
+	q := Query{Name: name, Root: root, Present: Presentation{Limit: stmt.Limit}}
+	schema := root.Schema()
+	for _, item := range stmt.OrderBy {
+		spec := OrderSpec{Desc: item.Desc}
+		switch e := item.E.(type) {
+		case *sqlparser.NumLit:
+			// Positional: ORDER BY 2.
+			if e.Float {
+				return Query{}, fmt.Errorf("plan: ORDER BY position must be an integer")
+			}
+			pos := 0
+			for _, ch := range e.Text {
+				pos = pos*10 + int(ch-'0')
+			}
+			if pos < 1 || pos > len(schema) {
+				return Query{}, fmt.Errorf("plan: ORDER BY position %d out of range", pos)
+			}
+			spec.Col = pos - 1
+		case *sqlparser.Ident:
+			idx := -1
+			for i, f := range schema {
+				if f.Name == e.Name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return Query{}, fmt.Errorf("plan: ORDER BY column %q is not in the select list", e.Name)
+			}
+			spec.Col = idx
+		default:
+			return Query{}, fmt.Errorf("plan: ORDER BY supports output columns and positions only")
+		}
+		q.Present.OrderBy = append(q.Present.OrderBy, spec)
+	}
+	return q, nil
+}
+
+// ParseAndBindQuery parses SQL and binds it with presentation.
+func ParseAndBindQuery(name, sql string, cat *catalog.Catalog) (Query, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return Query{}, err
+	}
+	return BindQuery(name, stmt, cat)
+}
+
+// Apply sorts and truncates materialized result rows per the presentation.
+// The input slice is sorted in place and returned (possibly shortened).
+func (p Presentation) Apply(rows []value.Row) []value.Row {
+	if len(p.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, s := range p.OrderBy {
+				c := value.Compare(rows[i][s.Col], rows[j][s.Col])
+				if s.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if p.Limit >= 0 && len(rows) > p.Limit {
+		rows = rows[:p.Limit]
+	}
+	return rows
+}

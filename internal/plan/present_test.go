@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"ishare/internal/value"
+)
+
+func TestPresentationApply(t *testing.T) {
+	rows := []value.Row{
+		{value.Str("b"), value.Int(2)},
+		{value.Str("a"), value.Int(3)},
+		{value.Str("c"), value.Int(1)},
+		{value.Str("d"), value.Int(3)},
+	}
+	p := Presentation{OrderBy: []OrderSpec{{Col: 1, Desc: true}, {Col: 0}}, Limit: 3}
+	got := p.Apply(rows)
+	want := []string{"a|3", "d|3", "b|2"}
+	rendered := make([]string, len(got))
+	for i, r := range got {
+		rendered[i] = r.String()
+	}
+	if !reflect.DeepEqual(rendered, want) {
+		t.Errorf("Apply = %v, want %v", rendered, want)
+	}
+}
+
+func TestPresentationNoLimit(t *testing.T) {
+	rows := []value.Row{{value.Int(2)}, {value.Int(1)}}
+	p := Presentation{Limit: -1}
+	if got := p.Apply(rows); len(got) != 2 {
+		t.Errorf("no-limit Apply dropped rows: %v", got)
+	}
+}
+
+func TestBindQueryPresentation(t *testing.T) {
+	c := testCatalog(t)
+	q, err := ParseAndBindQuery("top",
+		`SELECT l_partkey, SUM(l_quantity) AS sq FROM lineitem
+		 GROUP BY l_partkey ORDER BY sq DESC, 1 LIMIT 5`, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Present.Limit != 5 || len(q.Present.OrderBy) != 2 {
+		t.Fatalf("presentation = %+v", q.Present)
+	}
+	if q.Present.OrderBy[0].Col != 1 || !q.Present.OrderBy[0].Desc {
+		t.Errorf("first key = %+v", q.Present.OrderBy[0])
+	}
+	if q.Present.OrderBy[1].Col != 0 || q.Present.OrderBy[1].Desc {
+		t.Errorf("positional key = %+v", q.Present.OrderBy[1])
+	}
+	if _, err := ParseAndBindQuery("bad",
+		"SELECT l_partkey FROM lineitem ORDER BY l_quantity + 1", c); err == nil {
+		t.Error("expression ORDER BY accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package sqlparser
+
+// SelectStmt is a parsed SELECT block.
+type SelectStmt struct {
+	// Items are the projection expressions with optional aliases.
+	Items []SelectItem
+	// From lists the FROM items (tables or subqueries), joined implicitly.
+	From []FromItem
+	// Where is the optional predicate, nil when absent.
+	Where Expr
+	// GroupBy lists the optional grouping expressions.
+	GroupBy []Expr
+	// Having is the optional post-aggregation predicate.
+	Having Expr
+	// OrderBy lists presentation ordering keys (applied to the final
+	// materialized result, not maintained incrementally).
+	OrderBy []OrderItem
+	// Limit caps the presented rows; negative means no limit.
+	Limit int
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    Expr
+	Desc bool
+}
+
+// SelectItem is one projection expression with an optional alias.
+type SelectItem struct {
+	E     Expr
+	Alias string
+}
+
+// FromItem is a table reference or a parenthesized subquery with an alias.
+type FromItem struct {
+	// Table is the table name when this item references a base table.
+	Table string
+	// Alias is the correlation name; for tables it defaults to the table
+	// name, for subqueries it is mandatory.
+	Alias string
+	// Sub is the subquery when this item is derived.
+	Sub *SelectStmt
+}
+
+// Expr is a parsed scalar expression.
+type Expr interface{ isExpr() }
+
+// Ident is a possibly qualified column reference.
+type Ident struct {
+	// Qual is the optional table qualifier.
+	Qual string
+	// Name is the column name.
+	Name string
+}
+
+// NumLit is a numeric literal; Float reports whether it contained a dot.
+type NumLit struct {
+	Text  string
+	Float bool
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+}
+
+// BinExpr is a binary operation; Op is the normalized SQL spelling
+// ("=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "AND", "OR").
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnExpr is NOT or unary minus; Op is "NOT" or "-".
+type UnExpr struct {
+	Op string
+	E  Expr
+}
+
+// LikeExpr is a LIKE / NOT LIKE predicate against a string pattern.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// FuncExpr is an aggregate call. Star marks COUNT(*).
+type FuncExpr struct {
+	// Name is the lowercase function name (sum, count, avg, min, max).
+	Name string
+	Arg  Expr
+	Star bool
+}
+
+func (*Ident) isExpr()    {}
+func (*LikeExpr) isExpr() {}
+func (*NumLit) isExpr()   {}
+func (*StrLit) isExpr()   {}
+func (*BinExpr) isExpr()  {}
+func (*UnExpr) isExpr()   {}
+func (*FuncExpr) isExpr() {}

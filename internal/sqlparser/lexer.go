@@ -1,0 +1,177 @@
+// Package sqlparser implements the SQL dialect accepted by the engine:
+// SELECT-FROM-WHERE-GROUP BY-HAVING blocks with FROM subqueries, arithmetic
+// and boolean expressions, and the aggregate functions SUM, COUNT, AVG, MIN
+// and MAX. The dialect also accepts `==` and `!=` as comparison spellings,
+// matching the example queries in the paper.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "as": true, "and": true, "or": true, "not": true,
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+	"between": true, "in": true, "like": true,
+	"order": true, "limit": true, "asc": true, "desc": true,
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; the grammar is small enough that
+// a token slice keeps the parser simple and errors precise.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent(start)
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(start, c); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#'
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	lower := strings.ToLower(text)
+	kind := tokIdent
+	if keywords[lower] {
+		kind = tokKeyword
+		text = lower
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: start})
+}
+
+func (l *lexer) lexNumber(start int) error {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("sql: malformed number at offset %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString(start int, quote byte) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at offset %d", start)
+}
+
+var twoCharSymbols = map[string]bool{
+	"==": true, "!=": true, "<>": true, "<=": true, ">=": true,
+}
+
+func (l *lexer) lexSymbol(start int) error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSymbols[two] {
+			l.pos += 2
+			l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}

@@ -1,0 +1,490 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	t := p.cur()
+	where := fmt.Sprintf(" near %q (offset %d)", t.text, t.pos)
+	if t.kind == tokEOF {
+		where = " at end of input"
+	}
+	return fmt.Errorf("sql: "+format+where, args...)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) isSymbol(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.isSymbol(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, fi)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	stmt.Limit = -1
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.cur()
+		if t.kind != tokNumber || strings.Contains(t.text, ".") {
+			return nil, p.errorf("LIMIT requires an integer")
+		}
+		p.advance()
+		n := 0
+		for _, ch := range t.text {
+			n = n*10 + int(ch-'0')
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKeyword("as") {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS")
+		}
+		item.Alias = strings.ToLower(p.advance().text)
+	} else if p.cur().kind == tokIdent {
+		// Bare alias: SELECT x total FROM ...
+		item.Alias = strings.ToLower(p.advance().text)
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return FromItem{}, err
+		}
+		p.acceptKeyword("as")
+		t := p.cur()
+		if t.kind != tokIdent {
+			return FromItem{}, p.errorf("subquery requires an alias")
+		}
+		return FromItem{Alias: strings.ToLower(p.advance().text), Sub: sub}, nil
+	}
+	t := p.cur()
+	if t.kind != tokIdent {
+		return FromItem{}, p.errorf("expected table name")
+	}
+	fi := FromItem{Table: strings.ToLower(p.advance().text)}
+	fi.Alias = fi.Table
+	if p.cur().kind == tokIdent {
+		fi.Alias = strings.ToLower(p.advance().text)
+	} else if p.acceptKeyword("as") {
+		if p.cur().kind != tokIdent {
+			return FromItem{}, p.errorf("expected alias after AS")
+		}
+		fi.Alias = strings.ToLower(p.advance().text)
+	}
+	return fi, nil
+}
+
+// Expression grammar, loosest to tightest:
+//   expr    := orExpr
+//   orExpr  := andExpr (OR andExpr)*
+//   andExpr := notExpr (AND notExpr)*
+//   notExpr := NOT notExpr | cmpExpr
+//   cmpExpr := addExpr ((= | == | <> | != | < | <= | > | >=) addExpr)?
+//   addExpr := mulExpr ((+|-) mulExpr)*
+//   mulExpr := unary ((*|/) unary)*
+//   unary   := - unary | primary
+//   primary := number | string | ident[.ident] | agg(expr|*) | ( expr )
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpNormalize = map[string]string{
+	"=": "=", "==": "=", "<>": "<>", "!=": "<>",
+	"<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// BETWEEN a AND b desugars to (>= a AND <= b); IN (v, ...) to an OR of
+	// equalities; NOT BETWEEN / NOT IN wrap the desugared form in NOT.
+	negate := false
+	if p.isKeyword("not") {
+		// Only consume NOT when BETWEEN/IN/LIKE follows; a bare NOT here
+		// would belong to an outer boolean context.
+		if n := p.toks[p.i+1]; n.kind == tokKeyword &&
+			(n.text == "between" || n.text == "in" || n.text == "like") {
+			p.advance()
+			negate = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("like"):
+		pat := p.cur()
+		if pat.kind != tokString {
+			return nil, p.errorf("LIKE requires a string pattern")
+		}
+		p.advance()
+		return &LikeExpr{E: l, Pattern: pat.text, Negate: negate}, nil
+	case p.acceptKeyword("between"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&BinExpr{Op: "AND",
+			L: &BinExpr{Op: ">=", L: l, R: lo},
+			R: &BinExpr{Op: "<=", L: l, R: hi},
+		})
+		if negate {
+			e = &UnExpr{Op: "NOT", E: e}
+		}
+		return e, nil
+	case p.acceptKeyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var e Expr
+		for {
+			v, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			eq := &BinExpr{Op: "=", L: l, R: v}
+			if e == nil {
+				e = eq
+			} else {
+				e = &BinExpr{Op: "OR", L: e, R: eq}
+			}
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if negate {
+			e = &UnExpr{Op: "NOT", E: e}
+		}
+		return e, nil
+	}
+	t := p.cur()
+	if t.kind == tokSymbol {
+		if op, ok := cmpNormalize[t.text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("+") || p.isSymbol("-") {
+		op := p.advance().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("*") || p.isSymbol("/") {
+		op := p.advance().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &NumLit{Text: t.text, Float: strings.Contains(t.text, ".")}, nil
+	case tokString:
+		p.advance()
+		return &StrLit{Val: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "sum", "count", "avg", "min", "max":
+			return p.parseAggCall()
+		}
+		return nil, p.errorf("unexpected keyword")
+	case tokIdent:
+		p.advance()
+		name := strings.ToLower(t.text)
+		if p.acceptSymbol(".") {
+			col := p.cur()
+			if col.kind != tokIdent {
+				return nil, p.errorf("expected column after %q.", name)
+			}
+			p.advance()
+			return &Ident{Qual: name, Name: strings.ToLower(col.text)}, nil
+		}
+		return &Ident{Name: name}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected expression")
+}
+
+func (p *parser) parseAggCall() (Expr, error) {
+	name := p.advance().text
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("*") {
+		if name != "count" {
+			return nil, p.errorf("%s(*) is only valid for COUNT", strings.ToUpper(name))
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &FuncExpr{Name: name, Star: true}, nil
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &FuncExpr{Name: name, Arg: arg}, nil
+}

@@ -1,0 +1,309 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t WHERE a > 1")
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if id, ok := stmt.Items[0].E.(*Ident); !ok || id.Name != "a" {
+		t.Errorf("item[0] = %#v", stmt.Items[0].E)
+	}
+	if len(stmt.From) != 1 || stmt.From[0].Table != "t" || stmt.From[0].Alias != "t" {
+		t.Errorf("from = %#v", stmt.From)
+	}
+	bin, ok := stmt.Where.(*BinExpr)
+	if !ok || bin.Op != ">" {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT x AS total, y cnt FROM part p")
+	if stmt.Items[0].Alias != "total" || stmt.Items[1].Alias != "cnt" {
+		t.Errorf("aliases = %q, %q", stmt.Items[0].Alias, stmt.Items[1].Alias)
+	}
+	if stmt.From[0].Table != "part" || stmt.From[0].Alias != "p" {
+		t.Errorf("from alias = %#v", stmt.From[0])
+	}
+}
+
+func TestParseQualifiedAndCaseInsensitive(t *testing.T) {
+	stmt := mustParse(t, "SELECT P.P_PartKey FROM Part P")
+	id := stmt.Items[0].E.(*Ident)
+	if id.Qual != "p" || id.Name != "p_partkey" {
+		t.Errorf("ident = %#v", id)
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	stmt := mustParse(t, `SELECT l_partkey, SUM(l_quantity) AS sq
+		FROM lineitem GROUP BY l_partkey HAVING SUM(l_quantity) > 10`)
+	if len(stmt.GroupBy) != 1 {
+		t.Fatalf("groupby = %d", len(stmt.GroupBy))
+	}
+	f, ok := stmt.Items[1].E.(*FuncExpr)
+	if !ok || f.Name != "sum" {
+		t.Fatalf("item[1] = %#v", stmt.Items[1].E)
+	}
+	if stmt.Having == nil {
+		t.Fatal("missing HAVING")
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	stmt := mustParse(t, `SELECT SUM(agg_l.sum_quantity) AS t
+		FROM part p, (SELECT SUM(l_quantity) AS sum_quantity
+			FROM lineitem GROUP BY l_partkey) agg_l
+		WHERE p_partkey == l_partkey`)
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %d items", len(stmt.From))
+	}
+	if stmt.From[1].Sub == nil || stmt.From[1].Alias != "agg_l" {
+		t.Errorf("subquery = %#v", stmt.From[1])
+	}
+	// `==` normalizes to `=`.
+	if bin := stmt.Where.(*BinExpr); bin.Op != "=" {
+		t.Errorf("== not normalized: %q", bin.Op)
+	}
+}
+
+func TestParseNestedSubquery(t *testing.T) {
+	stmt := mustParse(t, `SELECT ps_partkey FROM partsupp ps,
+		(SELECT AVG(agg_l.sum_quantity) AS avg_q FROM part p,
+			(SELECT SUM(l_quantity) AS sum_quantity FROM lineitem GROUP BY l_partkey) agg_l
+			WHERE p_partkey = l_partkey AND p_brand == 'Brand#23' AND p_size == 15) x
+		WHERE ps.ps_availqty < avg_q`)
+	inner := stmt.From[1].Sub
+	if inner == nil || inner.From[1].Sub == nil {
+		t.Fatal("nested subquery not parsed")
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*) FROM t")
+	f := stmt.Items[0].E.(*FuncExpr)
+	if !f.Star || f.Name != "count" {
+		t.Errorf("count(*) = %#v", f)
+	}
+	if _, err := Parse("SELECT SUM(*) FROM t"); err == nil {
+		t.Error("SUM(*) accepted")
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a + b * 2 > 4 AND NOT c = 1 OR d < 5")
+	// Expect ((a+(b*2) > 4 AND NOT(c=1)) OR (d<5)).
+	or, ok := stmt.Where.(*BinExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v", stmt.Where)
+	}
+	and := or.L.(*BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("left of OR = %#v", or.L)
+	}
+	gt := and.L.(*BinExpr)
+	if gt.Op != ">" {
+		t.Fatalf("left of AND = %#v", and.L)
+	}
+	add := gt.L.(*BinExpr)
+	if add.Op != "+" {
+		t.Fatalf("lhs of > = %#v", gt.L)
+	}
+	if mul := add.R.(*BinExpr); mul.Op != "*" {
+		t.Fatalf("rhs of + = %#v", add.R)
+	}
+	if not := and.R.(*UnExpr); not.Op != "NOT" {
+		t.Fatalf("right of AND = %#v", and.R)
+	}
+}
+
+func TestParseStringsAndNumbers(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE s = "dq" AND s2 = 'sq' AND f > 1.25 AND n = -3`)
+	text := exprString(stmt.Where)
+	for _, want := range []string{"dq", "sq", "1.25", "3"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in %q", want, text)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "SELECT a -- trailing comment\nFROM t")
+}
+
+func TestParseParenthesizedPredicate(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	and := stmt.Where.(*BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top = %#v", stmt.Where)
+	}
+	if or := and.L.(*BinExpr); or.Op != "OR" {
+		t.Fatalf("parenthesized OR lost: %#v", and.L)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM (SELECT b FROM t)", // missing subquery alias
+		"SELECT a FROM t WHERE a = 'oops", // unterminated string
+		"SELECT a FROM t WHERE a ~ 2",     // bad symbol
+		"SELECT a FROM t extra tokens here AND",
+		"SELECT a FROM t WHERE a = 1.2.3",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", sql)
+		}
+	}
+}
+
+// exprString renders a parsed expression for containment assertions.
+func exprString(e Expr) string {
+	switch n := e.(type) {
+	case *Ident:
+		if n.Qual != "" {
+			return n.Qual + "." + n.Name
+		}
+		return n.Name
+	case *NumLit:
+		return n.Text
+	case *StrLit:
+		return n.Val
+	case *BinExpr:
+		return "(" + exprString(n.L) + n.Op + exprString(n.R) + ")"
+	case *UnExpr:
+		return n.Op + exprString(n.E)
+	case *FuncExpr:
+		if n.Star {
+			return n.Name + "(*)"
+		}
+		return n.Name + "(" + exprString(n.Arg) + ")"
+	default:
+		return "?"
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b = 2")
+	and := stmt.Where.(*BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top = %#v", stmt.Where)
+	}
+	between := and.L.(*BinExpr)
+	if between.Op != "AND" {
+		t.Fatalf("between not desugared: %#v", and.L)
+	}
+	if ge := between.L.(*BinExpr); ge.Op != ">=" {
+		t.Errorf("lower bound = %q", ge.Op)
+	}
+	if le := between.R.(*BinExpr); le.Op != "<=" {
+		t.Errorf("upper bound = %q", le.Op)
+	}
+}
+
+func TestParseNotBetween(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5")
+	not, ok := stmt.Where.(*UnExpr)
+	if !ok || not.Op != "NOT" {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE s IN ('x', 'y', 'z')")
+	or := stmt.Where.(*BinExpr)
+	if or.Op != "OR" {
+		t.Fatalf("IN not desugared to OR: %#v", stmt.Where)
+	}
+	if eq := or.R.(*BinExpr); eq.Op != "=" || eq.R.(*StrLit).Val != "z" {
+		t.Errorf("last disjunct = %#v", or.R)
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE s NOT IN ('x') AND a = 1")
+	and := stmt.Where.(*BinExpr)
+	if _, ok := and.L.(*UnExpr); !ok {
+		t.Fatalf("NOT IN lost its negation: %#v", and.L)
+	}
+}
+
+func TestParseNotStillWorksAsBooleanPrefix(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE NOT a = 1")
+	if not, ok := stmt.Where.(*UnExpr); !ok || not.Op != "NOT" {
+		t.Fatalf("prefix NOT broken: %#v", stmt.Where)
+	}
+}
+
+func TestParseInErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE a IN (1,)",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a BETWEEN 1 OR 2",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", sql)
+		}
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE p_name LIKE '%green%' AND a = 1")
+	and := stmt.Where.(*BinExpr)
+	like, ok := and.L.(*LikeExpr)
+	if !ok || like.Pattern != "%green%" || like.Negate {
+		t.Fatalf("LIKE = %#v", and.L)
+	}
+	stmt = mustParse(t, "SELECT a FROM t WHERE p_name NOT LIKE 'x_'")
+	nl := stmt.Where.(*LikeExpr)
+	if !nl.Negate || nl.Pattern != "x_" {
+		t.Fatalf("NOT LIKE = %#v", stmt.Where)
+	}
+	if _, err := Parse("SELECT a FROM t WHERE a LIKE 5"); err == nil {
+		t.Error("LIKE with non-string pattern accepted")
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t ORDER BY a DESC, b LIMIT 10")
+	if len(stmt.OrderBy) != 2 {
+		t.Fatalf("order items = %d", len(stmt.OrderBy))
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("desc flags = %v/%v", stmt.OrderBy[0].Desc, stmt.OrderBy[1].Desc)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+	stmt = mustParse(t, "SELECT a FROM t")
+	if stmt.Limit != -1 || stmt.OrderBy != nil {
+		t.Errorf("defaults = %d / %v", stmt.Limit, stmt.OrderBy)
+	}
+	if _, err := Parse("SELECT a FROM t ORDER a"); err == nil {
+		t.Error("ORDER without BY accepted")
+	}
+	if _, err := Parse("SELECT a FROM t LIMIT x"); err == nil {
+		t.Error("non-numeric LIMIT accepted")
+	}
+}

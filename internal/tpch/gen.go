@@ -1,0 +1,186 @@
+package tpch
+
+import (
+	"math/rand"
+
+	"ishare/internal/value"
+)
+
+// Dataset maps table names to their rows in arrival order, matching
+// exec.Dataset.
+type Dataset = map[string][]value.Row
+
+// Generate produces a deterministic dataset at the given scale factor. The
+// same (sf, seed) pair always yields identical data. Rows are emitted in a
+// shuffled arrival order per table, standing in for the paper's Kafka
+// stream of continuously loaded data.
+func Generate(sf float64, seed int64) Dataset {
+	sz := SizesFor(sf)
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(Dataset, 8)
+
+	// region
+	for i, name := range Regions {
+		ds["region"] = append(ds["region"], value.Row{
+			value.Int(int64(i)), value.Str(name),
+		})
+	}
+	// nation
+	for i, n := range Nations {
+		ds["nation"] = append(ds["nation"], value.Row{
+			value.Int(int64(i)), value.Str(n.Name), value.Int(int64(n.Region)),
+		})
+	}
+	// supplier
+	for i := 0; i < sz.Supplier; i++ {
+		ds["supplier"] = append(ds["supplier"], value.Row{
+			value.Int(int64(i)),
+			value.Str(supplierName(i)),
+			value.Int(int64(rng.Intn(sz.Nation))),
+			value.Float(round2(rng.Float64()*10998 - 999)),
+		})
+	}
+	// customer
+	for i := 0; i < sz.Customer; i++ {
+		ds["customer"] = append(ds["customer"], value.Row{
+			value.Int(int64(i)),
+			value.Str(customerName(i)),
+			value.Int(int64(rng.Intn(sz.Nation))),
+			value.Float(round2(rng.Float64()*10998 - 999)),
+			value.Str(Segments[rng.Intn(len(Segments))]),
+		})
+	}
+	// part
+	for i := 0; i < sz.Part; i++ {
+		ds["part"] = append(ds["part"], value.Row{
+			value.Int(int64(i)),
+			value.Str(partName(rng)),
+			value.Str(Brand(1+rng.Intn(5), 1+rng.Intn(5))),
+			value.Str(Types[rng.Intn(len(Types))]),
+			value.Int(int64(1 + rng.Intn(MaxSize))),
+			value.Str(Containers[rng.Intn(len(Containers))]),
+			value.Float(round2(900 + rng.Float64()*1100)),
+		})
+	}
+	// partsupp: each part supplied by up to four suppliers.
+	perPart := sz.PartSupp / maxI(1, sz.Part)
+	if perPart < 1 {
+		perPart = 1
+	}
+	for i := 0; i < sz.PartSupp; i++ {
+		ds["partsupp"] = append(ds["partsupp"], value.Row{
+			value.Int(int64(i / perPart % sz.Part)),
+			value.Int(int64(rng.Intn(sz.Supplier))),
+			value.Int(int64(1 + rng.Intn(9999))),
+			value.Float(round2(1 + rng.Float64()*999)),
+		})
+	}
+	// orders
+	orderDates := make([]int64, sz.Orders)
+	for i := 0; i < sz.Orders; i++ {
+		d := int64(DateMin + rng.Intn(DateMax-DateMin+1))
+		orderDates[i] = d
+		status := "O"
+		switch rng.Intn(3) {
+		case 0:
+			status = "F"
+		case 1:
+			status = "P"
+		}
+		ds["orders"] = append(ds["orders"], value.Row{
+			value.Int(int64(i)),
+			value.Int(int64(rng.Intn(sz.Customer))),
+			value.Str(status),
+			value.Float(round2(800 + rng.Float64()*499200)),
+			value.Int(d),
+			value.Str(Priorities[rng.Intn(len(Priorities))]),
+			value.Int(0),
+		})
+	}
+	// lineitem: ship/commit/receipt dates follow the order date.
+	for i := 0; i < sz.Lineitem; i++ {
+		ok := rng.Intn(sz.Orders)
+		ship := orderDates[ok] + int64(1+rng.Intn(120))
+		commit := ship + int64(rng.Intn(60)) - 30
+		receipt := ship + int64(1+rng.Intn(30))
+		clampDate(&ship)
+		clampDate(&commit)
+		clampDate(&receipt)
+		flag := "N"
+		switch rng.Intn(4) {
+		case 0:
+			flag = "R"
+		case 1:
+			flag = "A"
+		}
+		status := "O"
+		if rng.Intn(2) == 0 {
+			status = "F"
+		}
+		qty := float64(1 + rng.Intn(MaxQuantity))
+		price := round2(qty * (900 + rng.Float64()*1100) / 10)
+		ds["lineitem"] = append(ds["lineitem"], value.Row{
+			value.Int(int64(ok)),
+			value.Int(int64(rng.Intn(sz.Part))),
+			value.Int(int64(rng.Intn(sz.Supplier))),
+			value.Float(qty),
+			value.Float(price),
+			value.Float(float64(rng.Intn(11)) / 100),
+			value.Float(float64(rng.Intn(9)) / 100),
+			value.Str(flag),
+			value.Str(status),
+			value.Int(ship),
+			value.Int(commit),
+			value.Int(receipt),
+			value.Str(ShipModes[rng.Intn(len(ShipModes))]),
+		})
+	}
+	// Shuffle arrival order within each fact table so incremental chunks
+	// are representative samples; dimension tables arrive as generated.
+	for _, name := range []string{"orders", "lineitem", "partsupp"} {
+		rows := ds[name]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	}
+	return ds
+}
+
+// partName assembles three distinct color words, like TPC-H's p_name.
+func partName(rng *rand.Rand) string {
+	a := rng.Intn(len(Colors))
+	b := (a + 1 + rng.Intn(len(Colors)-1)) % len(Colors)
+	c := (b + 1 + rng.Intn(len(Colors)-2)) % len(Colors)
+	if c == a {
+		c = (c + 1) % len(Colors)
+	}
+	return Colors[a] + " " + Colors[b] + " " + Colors[c]
+}
+
+func supplierName(i int) string { return "Supplier#" + itoa9(i) }
+func customerName(i int) string { return "Customer#" + itoa9(i) }
+
+func itoa9(i int) string {
+	buf := [9]byte{'0', '0', '0', '0', '0', '0', '0', '0', '0'}
+	for p := 8; p >= 0 && i > 0; p-- {
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[:])
+}
+
+func round2(f float64) float64 { return float64(int64(f*100)) / 100 }
+
+func clampDate(d *int64) {
+	if *d < DateMin {
+		*d = DateMin
+	}
+	if *d > DateMax {
+		*d = DateMax
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,361 @@
+package tpch
+
+import (
+	"fmt"
+
+	"ishare/internal/catalog"
+	"ishare/internal/plan"
+)
+
+// Query is one workload query. Variant=true yields the perturbed version
+// used by the decomposition experiment (paper §5.4): equality predicates
+// change value and range predicates shift to overlap the original by about
+// half.
+type Query struct {
+	Name  string
+	Build func(variant bool) string
+}
+
+// SQL returns the query text (base version).
+func (q Query) SQL() string { return q.Build(false) }
+
+// pick returns a or b depending on the variant flag.
+func pick(variant bool, a, b string) string {
+	if variant {
+		return b
+	}
+	return a
+}
+
+func pickN(variant bool, a, b int) int {
+	if variant {
+		return b
+	}
+	return a
+}
+
+// All returns the 22 adapted TPC-H queries. Every query preserves the
+// original's join and aggregation structure but is restricted to the
+// engine's operator set (no outer joins, EXISTS/IN, CASE, LIKE, ORDER BY or
+// correlated subqueries), as in the paper's prototype.
+func All() []Query {
+	return []Query{
+		{"Q1", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= %d
+GROUP BY l_returnflag, l_linestatus`, pickN(v, 2450, 1800))
+		}},
+		{"Q2", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT s_acctbal, s_name, n_name, p_partkey
+FROM part, partsupp, supplier, nation, region,
+     (SELECT ps_partkey AS mpk, MIN(ps_supplycost) AS min_cost
+      FROM partsupp GROUP BY ps_partkey) m
+WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = '%s' AND p_size = %d
+  AND p_partkey = mpk AND ps_supplycost = min_cost`,
+				pick(v, "EUROPE", "ASIA"), pickN(v, 15, 25))
+		}},
+		{"Q3", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = '%s' AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < %d AND l_shipdate > %d
+GROUP BY l_orderkey, o_orderdate, o_shippriority`,
+				pick(v, "BUILDING", "MACHINERY"), pickN(v, 1150, 1350), pickN(v, 1150, 1350))
+		}},
+		{"Q4", func(v bool) string {
+			d1 := pickN(v, 900, 1080)
+			return fmt.Sprintf(`
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders, lineitem
+WHERE l_orderkey = o_orderkey
+  AND o_orderdate >= %d AND o_orderdate < %d
+  AND l_commitdate < l_receiptdate
+GROUP BY o_orderpriority`, d1, d1+365)
+		}},
+		{"Q5", func(v bool) string {
+			d1 := pickN(v, 730, 910)
+			return fmt.Sprintf(`
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = '%s'
+  AND o_orderdate >= %d AND o_orderdate < %d
+GROUP BY n_name`, pick(v, "ASIA", "EUROPE"), d1, d1+365)
+		}},
+		{"Q6", func(v bool) string {
+			d1 := pickN(v, 730, 910)
+			return fmt.Sprintf(`
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= %d AND l_shipdate < %d
+  AND l_discount > %s AND l_discount < %s
+  AND l_quantity < %d`,
+				d1, d1+365, pick(v, "0.04", "0.02"), pick(v, "0.07", "0.05"), pickN(v, 24, 36))
+		}},
+		{"Q7", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation n1, nation n2
+WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+  AND n1.n_name = '%s' AND n2.n_name = '%s'
+  AND l_shipdate >= %d AND l_shipdate <= %d
+GROUP BY n1.n_name, n2.n_name`,
+				pick(v, "FRANCE", "CHINA"), pick(v, "GERMANY", "JAPAN"),
+				pickN(v, 730, 1095), pickN(v, 1460, 1825))
+		}},
+		{"Q8", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) AS volume
+FROM lineitem, part, orders, customer, nation, region
+WHERE p_partkey = l_partkey AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey AND c_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = '%s' AND p_type = '%s'
+  AND o_orderdate >= %d AND o_orderdate <= %d
+GROUP BY o_orderdate`,
+				pick(v, "AMERICA", "ASIA"), pick(v, "ECONOMY ANODIZED STEEL", "PROMO PLATED BRASS"),
+				pickN(v, 1095, 1277), pickN(v, 1825, 2007))
+		}},
+		{"Q9", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS profit
+FROM lineitem, part, supplier, partsupp, orders, nation
+WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+  AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+  AND p_name LIKE '%%%s%%'
+GROUP BY n_name`, pick(v, "green", "azure"))
+		}},
+		{"Q10", func(v bool) string {
+			d1 := pickN(v, 1000, 1180)
+			return fmt.Sprintf(`
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= %d AND o_orderdate < %d
+  AND l_returnflag = '%s' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, n_name`, d1, d1+90, pick(v, "R", "A"))
+		}},
+		{"Q11", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS v
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = '%s'
+GROUP BY ps_partkey
+HAVING SUM(ps_supplycost * ps_availqty) > %d`,
+				pick(v, "GERMANY", "FRANCE"), pickN(v, 1000, 2000))
+		}},
+		{"Q12", func(v bool) string {
+			d1 := pickN(v, 730, 910)
+			return fmt.Sprintf(`
+SELECT l_shipmode, COUNT(*) AS line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('%s', '%s')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= %d AND l_receiptdate < %d
+GROUP BY l_shipmode`,
+				pick(v, "MAIL", "RAIL"), pick(v, "SHIP", "TRUCK"), d1, d1+365)
+		}},
+		{"Q13", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT c_count, COUNT(*) AS custdist
+FROM (SELECT o_custkey AS ck, COUNT(*) AS c_count
+      FROM orders WHERE o_totalprice > %d GROUP BY o_custkey) t
+GROUP BY c_count`, pickN(v, 1000, 100000))
+		}},
+		{"Q14", func(v bool) string {
+			d1 := pickN(v, 850, 1030)
+			return fmt.Sprintf(`
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey AND p_type = '%s'
+  AND l_shipdate >= %d AND l_shipdate < %d`,
+				pick(v, "PROMO BURNISHED COPPER", "PROMO PLATED BRASS"), d1, d1+30)
+		}},
+		{"Q15", func(v bool) string {
+			// The variant's window overlaps the base by half (the paper's
+			// range-perturbation rule for the Figure 14 query set).
+			d1 := pickN(v, 900, 1200)
+			rev := fmt.Sprintf(`SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem WHERE l_shipdate >= %d AND l_shipdate < %d GROUP BY l_suppkey`, d1, d1+600)
+			return fmt.Sprintf(`
+SELECT s_suppkey, s_name, total_revenue
+FROM supplier,
+     (%s) r,
+     (SELECT MAX(total_revenue) AS max_rev FROM (%s) rr) m
+WHERE s_suppkey = l_suppkey AND total_revenue = max_rev`, rev, rev)
+		}},
+		{"Q16", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT p_brand, p_type, p_size, COUNT(ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey
+  AND p_brand <> '%s' AND p_size < %d
+GROUP BY p_brand, p_type, p_size`,
+				pick(v, "Brand#45", "Brand#21"), pickN(v, 20, 35))
+		}},
+		{"Q17", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT SUM(l_extendedprice) AS avg_yearly
+FROM lineitem, part,
+     (SELECT l_partkey AS apk, AVG(l_quantity) AS avg_qty
+      FROM lineitem GROUP BY l_partkey) a
+WHERE p_partkey = l_partkey AND p_brand = '%s' AND p_container = '%s'
+  AND l_partkey = apk AND l_quantity < avg_qty`,
+				pick(v, "Brand#23", "Brand#13"), pick(v, "MED BOX", "LG DRUM"))
+		}},
+		{"Q18", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) AS total_qty
+FROM customer, orders, lineitem,
+     (SELECT l_orderkey AS lok, SUM(l_quantity) AS sum_qty
+      FROM lineitem GROUP BY l_orderkey) t
+WHERE o_orderkey = lok AND sum_qty > %d
+  AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice`,
+				pickN(v, 140, 120))
+		}},
+		{"Q19", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND ((p_brand = '%s' AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5)
+    OR (p_brand = '%s' AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10)
+    OR (p_brand = '%s' AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))`,
+				pick(v, "Brand#12", "Brand#11"), pick(v, "Brand#23", "Brand#22"), pick(v, "Brand#34", "Brand#33"))
+		}},
+		{"Q20", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT s_name, s_acctbal
+FROM supplier, nation,
+     (SELECT ps_suppkey AS psk, SUM(ps_availqty) AS total_avail
+      FROM partsupp GROUP BY ps_suppkey) t
+WHERE s_suppkey = psk AND total_avail > %d
+  AND s_nationkey = n_nationkey AND n_name = '%s'`,
+				pickN(v, 300000, 250000), pick(v, "CANADA", "PERU"))
+		}},
+		{"Q21", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT s_name, COUNT(*) AS numwait
+FROM supplier, lineitem, orders, nation
+WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+  AND o_orderstatus = '%s' AND l_receiptdate > l_commitdate
+  AND s_nationkey = n_nationkey AND n_name = '%s'
+GROUP BY s_name`, pick(v, "F", "O"), pick(v, "SAUDI ARABIA", "EGYPT"))
+		}},
+		{"Q22", func(v bool) string {
+			return fmt.Sprintf(`
+SELECT c_mktsegment, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+FROM customer
+WHERE c_acctbal > %d
+GROUP BY c_mktsegment`, pickN(v, 7000, 5000))
+		}},
+	}
+}
+
+// PaperQA and PaperQB are the example queries from the paper's Figure 2.
+var PaperQA = Query{Name: "QA", Build: func(bool) string {
+	return `
+SELECT SUM(agg_l.sum_quantity) AS total_sum_quantity
+FROM part p,
+     (SELECT SUM(l_quantity) AS sum_quantity
+      FROM lineitem GROUP BY l_partkey) agg_l
+WHERE p_partkey == l_partkey`
+}}
+
+// PaperQB follows the paper's text, including the `==` spelling.
+var PaperQB = Query{Name: "QB", Build: func(bool) string {
+	return `
+SELECT ps_partkey
+FROM partsupp ps,
+     (SELECT AVG(agg_l.sum_quantity) AS avg_quantity
+      FROM part p,
+           (SELECT SUM(l_quantity) AS sum_quantity
+            FROM lineitem GROUP BY l_partkey) agg_l
+      WHERE p_partkey = l_partkey
+        AND p_brand == 'Brand#23' AND p_size == 15) x
+WHERE ps.ps_availqty < avg_quantity`
+}}
+
+// Q15Shifted returns a Q15 variant whose date window starts shift×45 days
+// later. Distinct shifts produce structurally identical queries with
+// different predicates — the family used to grow the shared query set in
+// the optimization-overhead experiment (Figure 16).
+func Q15Shifted(shift int) Query {
+	name := fmt.Sprintf("Q15s%d", shift)
+	return Query{Name: name, Build: func(bool) string {
+		d1 := 300 + shift*300
+		rev := fmt.Sprintf(`SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem WHERE l_shipdate >= %d AND l_shipdate < %d GROUP BY l_suppkey`, d1, d1+600)
+		return fmt.Sprintf(`
+SELECT s_suppkey, s_name, total_revenue
+FROM supplier,
+     (%s) r,
+     (SELECT MAX(total_revenue) AS max_rev FROM (%s) rr) m
+WHERE s_suppkey = l_suppkey AND total_revenue = max_rev`, rev, rev)
+	}}
+}
+
+// OverlappingTen is the 10-query subset with significant shared work used
+// in Figures 12 and 14: Q4, Q5, Q7, Q8, Q9, Q15, Q17, Q18, Q20, Q21.
+var OverlappingTen = []string{"Q4", "Q5", "Q7", "Q8", "Q9", "Q15", "Q17", "Q18", "Q20", "Q21"}
+
+// ByName returns the named queries from All() (plus QA/QB).
+func ByName(names ...string) ([]Query, error) {
+	index := map[string]Query{"QA": PaperQA, "QB": PaperQB}
+	for _, q := range All() {
+		index[q.Name] = q
+	}
+	out := make([]Query, 0, len(names))
+	for _, n := range names {
+		q, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("tpch: unknown query %q", n)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// Bind parses and binds queries against a catalog. Variant selects the
+// perturbed version of each query; the bound query names get a "v" suffix.
+func Bind(queries []Query, cat *catalog.Catalog, variant bool) ([]plan.Query, error) {
+	out := make([]plan.Query, 0, len(queries))
+	for _, q := range queries {
+		n, err := plan.ParseAndBind(q.Build(variant), cat)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: %s: %w", q.Name, err)
+		}
+		name := q.Name
+		if variant {
+			name += "v"
+		}
+		out = append(out, plan.Query{Name: name, Root: n})
+	}
+	return out, nil
+}

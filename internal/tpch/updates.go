@@ -1,0 +1,75 @@
+package tpch
+
+import (
+	"math/rand"
+
+	"ishare/internal/delta"
+	"ishare/internal/exec"
+	"ishare/internal/mqo"
+	"ishare/internal/value"
+)
+
+// GenerateWithUpdates produces a change stream: the base dataset's rows
+// arrive as insertions, and updateFrac of the fact-table rows are later
+// updated — modeled, as in the paper (§2.3), as a deletion of the old row
+// followed by an insertion of a modified one. Updates are interleaved after
+// the original insertion so every prefix of the stream is consistent (no
+// deletion precedes its insertion).
+func GenerateWithUpdates(sf float64, seed int64, updateFrac float64) exec.DeltaDataset {
+	base := Generate(sf, seed)
+	rng := rand.New(rand.NewSource(seed + 7))
+	out := make(exec.DeltaDataset, len(base))
+	allBits := mqo.Bitset(^uint64(0))
+
+	for name, rows := range base {
+		tuples := make([]delta.Tuple, 0, len(rows))
+		updatable := updateFrac > 0 && isFactTable(name)
+		for i, row := range rows {
+			tuples = append(tuples, delta.Tuple{Row: row, Bits: allBits, Sign: delta.Insert})
+			if updatable && rng.Float64() < updateFrac {
+				// Update a row already inserted: retract its current
+				// image and insert the modified one.
+				pos := rng.Intn(i + 1)
+				old := rows[pos]
+				updated := updateRow(name, old, rng)
+				tuples = append(tuples,
+					delta.Tuple{Row: old, Bits: allBits, Sign: delta.Delete},
+					delta.Tuple{Row: updated, Bits: allBits, Sign: delta.Insert},
+				)
+				// Future updates of the same position retract the new
+				// image, not the original.
+				rows[pos] = updated
+			}
+		}
+		out[name] = tuples
+	}
+	return out
+}
+
+func isFactTable(name string) bool {
+	switch name {
+	case "lineitem", "orders", "partsupp":
+		return true
+	default:
+		return false
+	}
+}
+
+// updateRow returns a modified copy of the row, touching a measure column
+// so aggregates change (quantity for lineitem, totalprice for orders,
+// availqty for partsupp).
+func updateRow(table string, row value.Row, rng *rand.Rand) value.Row {
+	out := row.Clone()
+	switch table {
+	case "lineitem":
+		// l_quantity is column 3.
+		out[3] = value.Float(float64(1 + rng.Intn(MaxQuantity)))
+	case "orders":
+		// o_totalprice is column 3.
+		out[3] = value.Float(round2(800 + rng.Float64()*499200))
+	case "partsupp":
+		// ps_availqty is column 2.
+		out[2] = value.Int(int64(1 + rng.Intn(9999)))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+
+	"ishare/internal/delta"
+	"ishare/internal/exec"
+	"ishare/internal/mqo"
+)
+
+func TestGenerateWithUpdatesStreamShape(t *testing.T) {
+	ds := GenerateWithUpdates(0.004, 5, 0.2)
+	li := ds["lineitem"]
+	inserts, deletes := 0, 0
+	seen := map[string]int{}
+	for _, tup := range li {
+		k := tup.Row.String()
+		switch tup.Sign {
+		case delta.Insert:
+			inserts++
+			seen[k]++
+		case delta.Delete:
+			deletes++
+			// Every deletion must retract a currently live image: stream
+			// prefixes stay consistent.
+			if seen[k] <= 0 {
+				t.Fatalf("deletion of never-inserted row %s", k)
+			}
+			seen[k]--
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("no updates generated")
+	}
+	if inserts != deletes+SizesFor(0.004).Lineitem {
+		t.Errorf("inserts %d, deletes %d, base %d: every delete needs a paired insert",
+			inserts, deletes, SizesFor(0.004).Lineitem)
+	}
+	// Dimension tables stay insert-only.
+	for _, tup := range ds["part"] {
+		if tup.Sign == delta.Delete {
+			t.Fatal("dimension table received deletes")
+		}
+	}
+}
+
+func TestGenerateWithUpdatesZeroFracMatchesBase(t *testing.T) {
+	ds := GenerateWithUpdates(0.004, 5, 0)
+	base := Generate(0.004, 5)
+	if len(ds["lineitem"]) != len(base["lineitem"]) {
+		t.Errorf("zero update fraction changed stream length")
+	}
+}
+
+// TestUpdateStreamIncrementalMatchesBatch is the correctness check the
+// paper's §2.3 claims: incremental execution handles update streams (delete
+// plus insert) and converges to the batch result at any pace.
+func TestUpdateStreamIncrementalMatchesBatch(t *testing.T) {
+	const sf = 0.004
+	cat, err := NewCatalog(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := GenerateWithUpdates(sf, 9, 0.15)
+	qs, err := ByName("Q1", "Q6", "Q15", "Q18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Bind(qs, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pace int) [][]string {
+		sp, err := mqo.Build(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := mqo.Extract(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := exec.NewDeltaRunner(g, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paces := make([]int, len(g.Subplans))
+		for i := range paces {
+			paces[i] = pace
+		}
+		if _, err := r.Run(paces); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]string, len(bound))
+		for q := range bound {
+			out[q] = roundedResults(r, q)
+		}
+		return out
+	}
+	batch := run(1)
+	eager := run(6)
+	for q := range bound {
+		if !reflect.DeepEqual(batch[q], eager[q]) {
+			t.Errorf("%s diverges under update stream (%d vs %d rows)",
+				bound[q].Name, len(eager[q]), len(batch[q]))
+		}
+	}
+}
+
+// TestUpdateStreamCostsMore verifies the paper's premise that deletions
+// amplify incremental maintenance cost (retractions cascade).
+func TestUpdateStreamCostsMore(t *testing.T) {
+	const sf = 0.004
+	cat, err := NewCatalog(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ByName("Q15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Bind(qs, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(ds exec.DeltaDataset) int64 {
+		sp, _ := mqo.Build(bound)
+		g, _ := mqo.Extract(sp)
+		r, err := exec.NewDeltaRunner(g, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paces := make([]int, len(g.Subplans))
+		for i := range paces {
+			paces[i] = 6
+		}
+		rep, err := r.Run(paces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TotalWork
+	}
+	plain := total(GenerateWithUpdates(sf, 9, 0))
+	updates := total(GenerateWithUpdates(sf, 9, 0.3))
+	if updates <= plain {
+		t.Errorf("update stream %d not costlier than insert-only %d", updates, plain)
+	}
+}

@@ -1,0 +1,322 @@
+// Package value defines the scalar value and row representations used
+// throughout the engine. Values are small tagged unions rather than
+// interfaces so that rows can be hashed and compared without boxing.
+package value
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+const (
+	// KindNull is the absence of a value. Nulls compare less than
+	// everything else and are equal to each other for grouping purposes.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable byte string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+	// KindDate is a date stored as days since the epoch.
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind participate in arithmetic.
+func (k Kind) Numeric() bool {
+	return k == KindInt || k == KindFloat
+}
+
+// Value is a scalar runtime value. The zero value is NULL.
+type Value struct {
+	// S holds the payload for KindString.
+	S string
+	// I holds the payload for KindInt, KindDate and KindBool (0/1).
+	I int64
+	// F holds the payload for KindFloat.
+	F float64
+	// K is the type tag.
+	K Kind
+}
+
+// Null is the NULL value.
+var Null = Value{K: KindNull}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// Date returns a date value from days since the epoch.
+func Date(days int64) Value { return Value{K: KindDate, I: days} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truth reports whether v is a true boolean. NULL and false are both false.
+func (v Value) Truth() bool { return v.K == KindBool && v.I == 1 }
+
+// AsFloat converts a numeric value to float64. Non-numeric values yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display and for deterministic test output.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I == 1 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return fmt.Sprintf("date(%d)", v.I)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; values of
+// different numeric kinds are compared as floats; otherwise kinds must match.
+// The result is -1, 0 or +1.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == KindNull && b.K == KindNull:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.K != b.K {
+		if a.K.Numeric() && b.K.Numeric() {
+			return cmpFloat(a.AsFloat(), b.AsFloat())
+		}
+		// Incomparable kinds order deterministically by kind tag so that
+		// Compare remains a total order.
+		return cmpInt(int64(a.K), int64(b.K))
+	}
+	switch a.K {
+	case KindInt, KindDate, KindBool:
+		return cmpInt(a.I, b.I)
+	case KindFloat:
+		return cmpFloat(a.F, b.F)
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as a pipe-separated list.
+func (r Row) String() string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Equal reports whether two rows are element-wise equal.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !Equal(r[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Hasher incrementally hashes values into a key suitable for map grouping.
+type Hasher struct {
+	h maphash.Hash
+}
+
+// NewHasher returns a hasher using the process-wide seed.
+func NewHasher() *Hasher {
+	h := &Hasher{}
+	h.h.SetSeed(hashSeed)
+	return h
+}
+
+// Reset clears the hasher state.
+func (h *Hasher) Reset() { h.h.Reset() }
+
+// WriteValue mixes one value into the hash. Numeric values hash by their
+// float64 image so that Int(2) and Float(2) group together, matching Compare.
+func (h *Hasher) WriteValue(v Value) {
+	h.h.WriteByte(byte(hashClass(v.K)))
+	switch v.K {
+	case KindNull:
+	case KindString:
+		h.h.WriteString(v.S)
+	default:
+		f := v.AsFloat()
+		u := math.Float64bits(f)
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.h.Write(buf[:])
+	}
+}
+
+// hashClass collapses kinds that compare as equal into one class.
+func hashClass(k Kind) uint8 {
+	switch k {
+	case KindInt, KindFloat:
+		return 1
+	case KindString:
+		return 2
+	case KindBool:
+		return 3
+	case KindDate:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Sum returns the accumulated hash.
+func (h *Hasher) Sum() uint64 { return h.h.Sum64() }
+
+// HashRow hashes a full row.
+func HashRow(r Row) uint64 {
+	h := NewHasher()
+	for _, v := range r {
+		h.WriteValue(v)
+	}
+	return h.Sum()
+}
+
+// Key returns a deterministic string key for a row, used for map grouping
+// where exact equality (not just hash equality) is required.
+func Key(r Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteByte(byte('0' + hashClass(v.K)))
+		switch v.K {
+		case KindString:
+			b.WriteString(strconv.Itoa(len(v.S)))
+			b.WriteByte(':')
+			b.WriteString(v.S)
+		case KindNull:
+		default:
+			b.WriteString(strconv.FormatFloat(v.AsFloat(), 'b', -1, 64))
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
