@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the parallel pace search
+# and the wave-parallel runner are exercised by their equivalence tests.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check:
+	./scripts/check.sh

@@ -9,14 +9,17 @@ package ishare
 // EXPERIMENTS.md for the paper-vs-measured discussion.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"ishare/internal/cost"
 	"ishare/internal/decompose"
 	"ishare/internal/exec"
 	"ishare/internal/experiments"
 	"ishare/internal/mqo"
 	"ishare/internal/opt"
+	"ishare/internal/pace"
 	"ishare/internal/tpch"
 )
 
@@ -365,6 +368,123 @@ func BenchmarkUpdateStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.ReportMetric(float64(run(0)), "work_insert_only")
 		b.ReportMetric(float64(run(0.2)), "work_20pct_updates")
+	}
+}
+
+// benchBind binds the named TPC-H queries into a shared subplan graph.
+func benchBind(b *testing.B, cfg experiments.Config, names []string) *mqo.Graph {
+	b.Helper()
+	cat, err := tpch.NewCatalog(cfg.SF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := tpch.ByName(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := tpch.Bind(qs, cat, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := mqo.Build(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkModelEvaluate measures one cost-model evaluation on a six-query
+// shared graph with a wandering pace vector, mixing memo hits and misses —
+// the inner loop of the greedy search.
+func BenchmarkModelEvaluate(b *testing.B) {
+	cfg := benchConfig()
+	g := benchBind(b, cfg, []string{"Q1", "Q3", "Q5", "Q10", "Q15", "Q18"})
+	m := cost.NewModel(g)
+	paces := pace.Ones(len(g.Subplans))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paces[i%len(paces)] = 1 + i%25
+		if _, err := m.Evaluate(paces); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedySearch runs the full greedy pace search on the
+// Figure-15-scale workload (all 22 queries, relative constraint 0.01) with a
+// cold memo table per iteration, at several candidate-evaluation worker
+// counts (workers=1 is the sequential search; all counts return identical
+// pace configurations).
+func BenchmarkGreedySearch(b *testing.B) {
+	cfg := benchConfig()
+	cat, err := tpch.NewCatalog(cfg.SF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := tpch.ByName(experiments.AllQueryNames()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := tpch.Bind(qs, cat, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	abs, err := opt.AbsoluteConstraints(bound, experiments.UniformRel(len(bound), 0.01))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := mqo.Build(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := cost.NewModel(g)
+				o, err := pace.NewOptimizer(m, abs, 25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				o.Workers = workers
+				if _, _, err := o.Greedy(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinProbe measures the engine's symmetric-hash-join hot path: a
+// join-heavy three-query shared plan executed incrementally at pace 8, where
+// per-tuple key evaluation, probing and emission dominate.
+func BenchmarkJoinProbe(b *testing.B) {
+	cfg := benchConfig()
+	g := benchBind(b, cfg, []string{"Q3", "Q5", "Q10"})
+	data := tpch.Generate(cfg.SF, cfg.Seed)
+	paces := make([]int, len(g.Subplans))
+	for i := range paces {
+		paces[i] = 8
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exec.NewRunner(g, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(paces); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

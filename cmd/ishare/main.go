@@ -25,11 +25,12 @@ func main() {
 		sf         = flag.Float64("sf", 0.05, "TPC-H scale factor")
 		seed       = flag.Int64("seed", 1, "data and constraint seed")
 		maxPace    = flag.Int("maxpace", 40, "maximum pace J")
+		optWorkers = flag.Int("opt-workers", 0, "pace-search candidate evaluation workers (1 = sequential, 0 = GOMAXPROCS)")
 		budget     = flag.Duration("dnf", 30*time.Second, "optimization budget before DNF (fig15)")
 		dot        = flag.String("dot", "", "instead of an experiment, write the shared plan of the named queries (comma-separated, e.g. Q1,Q15) as Graphviz DOT to stdout")
 	)
 	flag.Parse()
-	cfg := experiments.Config{SF: *sf, Seed: *seed, MaxPace: *maxPace, DNFBudget: *budget}
+	cfg := experiments.Config{SF: *sf, Seed: *seed, MaxPace: *maxPace, DNFBudget: *budget, OptWorkers: *optWorkers}
 	if *dot != "" {
 		if err := writeDOT(*dot, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "ishare:", err)

@@ -26,23 +26,37 @@ type Factor struct {
 type Calibration map[string]Factor
 
 // SetCalibration installs correction factors. The memo tables are cleared:
-// cached entries were computed under the previous factors.
+// cached entries were computed under the previous factors. Each per-subplan
+// map is swapped under its shard lock so the call is safe while concurrent
+// Evaluates are in flight — an evaluation racing the swap either reads the
+// old map (whose entries are still self-consistent) or the fresh one.
 func (m *Model) SetCalibration(c Calibration) {
+	m.calibMu.Lock()
 	m.calib = c
+	m.calibMu.Unlock()
 	for i := range m.memo {
+		m.memoMu[i].Lock()
 		m.memo[i] = make(map[string]memoEntry)
+		m.memoMu[i].Unlock()
 	}
 }
 
 // Calibration returns the installed factors (nil when uncalibrated).
-func (m *Model) Calibration() Calibration { return m.calib }
+func (m *Model) Calibration() Calibration {
+	m.calibMu.RLock()
+	defer m.calibMu.RUnlock()
+	return m.calib
+}
 
 // applyCalibration scales a simulation result by the subplan's factors.
 func (m *Model) applyCalibration(s *mqo.Subplan, res SimResult) SimResult {
-	if m.calib == nil {
+	m.calibMu.RLock()
+	calib := m.calib
+	m.calibMu.RUnlock()
+	if calib == nil {
 		return res
 	}
-	f, ok := m.calib[s.Root.BaseSignature()]
+	f, ok := calib[s.Root.BaseSignature()]
 	if !ok {
 		return res
 	}

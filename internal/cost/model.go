@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ishare/internal/mqo"
 )
@@ -14,6 +15,12 @@ import (
 // private pace configuration — its own pace plus all descendant subplans'
 // paces — which fully determines its inputs and therefore its cost (the
 // paper's Algorithm 1).
+//
+// Evaluate (and the helpers built on it) is safe for concurrent use: the
+// per-subplan memo tables are guarded by sharded locks, the table-profile
+// cache by its own lock, and the traffic counters are updated atomically.
+// Simulation is deterministic, so concurrent misses on the same key store
+// identical entries and the evaluation result is independent of scheduling.
 type Model struct {
 	Graph *mqo.Graph
 	// UseMemo disables the memo table when false (the paper's
@@ -22,12 +29,18 @@ type Model struct {
 
 	// Sims counts per-subplan simulations performed; Lookups and Hits
 	// count memo-table traffic. Experiments report these as optimization
-	// overhead.
+	// overhead. They are updated atomically; read them only after
+	// concurrent evaluation has quiesced.
 	Sims, Lookups, Hits int64
 
+	// memoMu[i] guards memo[i] (both the map header, which SetCalibration
+	// swaps, and its contents).
+	memoMu      []sync.RWMutex
 	memo        []map[string]memoEntry
 	descendants [][]int
+	tableMu     sync.RWMutex
 	tableProf   map[tableKey]Profile
+	calibMu     sync.RWMutex
 	calib       Calibration
 }
 
@@ -57,6 +70,7 @@ func NewModel(g *mqo.Graph) *Model {
 	m := &Model{
 		Graph:     g,
 		UseMemo:   true,
+		memoMu:    make([]sync.RWMutex, len(g.Subplans)),
 		memo:      make([]map[string]memoEntry, len(g.Subplans)),
 		tableProf: make(map[tableKey]Profile),
 	}
@@ -116,7 +130,7 @@ func (m *Model) OpOutputs(s *mqo.Subplan, paces []int) (map[*mqo.Op]Profile, err
 	if err != nil {
 		return nil, err
 	}
-	m.Sims++
+	atomic.AddInt64(&m.Sims, 1)
 	_, outs := SimulateSubplanOps(s, paces[s.ID], inputs, true)
 	return outs, nil
 }
@@ -132,24 +146,36 @@ func (m *Model) evaluateFull(paces []int) (Eval, []Profile, error) {
 		QueryFinal: make([]float64, g.Plan.NumQueries()),
 	}
 	outputs := make([]Profile, len(g.Subplans))
+	keyBuf := make([]byte, 0, 64)
+	// Counters accumulate locally and publish once per evaluation: one
+	// atomic add per counter instead of one per subplan keeps concurrent
+	// candidate evaluations off each other's cache lines.
+	var lookups, hits, sims int64
 	for _, s := range g.Subplans {
 		var res SimResult
-		key := m.privateKey(s, paces)
 		hit := false
 		if m.UseMemo {
-			m.Lookups++
-			if e, ok := m.memo[s.ID][key]; ok {
-				m.Hits++
+			keyBuf = m.appendPrivateKey(keyBuf[:0], s, paces)
+			lookups++
+			mu := &m.memoMu[s.ID]
+			mu.RLock()
+			e, ok := m.memo[s.ID][string(keyBuf)]
+			mu.RUnlock()
+			if ok {
+				hits++
 				res = SimResult{PrivateTotal: e.pT, PrivateFinal: e.pF, Out: e.out}
 				hit = true
 			}
 		}
 		if !hit {
-			m.Sims++
+			sims++
 			res = SimulateSubplan(s, paces[s.ID], m.inputsFor(s, outputs))
 			res = m.applyCalibration(s, res)
 			if m.UseMemo {
-				m.memo[s.ID][key] = memoEntry{pT: res.PrivateTotal, pF: res.PrivateFinal, out: res.Out}
+				mu := &m.memoMu[s.ID]
+				mu.Lock()
+				m.memo[s.ID][string(keyBuf)] = memoEntry{pT: res.PrivateTotal, pF: res.PrivateFinal, out: res.Out}
+				mu.Unlock()
 			}
 		}
 		outputs[s.ID] = res.Out
@@ -159,6 +185,15 @@ func (m *Model) evaluateFull(paces []int) (Eval, []Profile, error) {
 		for _, q := range s.Queries.Members() {
 			ev.QueryFinal[q] += res.PrivateFinal
 		}
+	}
+	if lookups != 0 {
+		atomic.AddInt64(&m.Lookups, lookups)
+	}
+	if hits != 0 {
+		atomic.AddInt64(&m.Hits, hits)
+	}
+	if sims != 0 {
+		atomic.AddInt64(&m.Sims, sims)
 	}
 	return ev, outputs, nil
 }
@@ -189,23 +224,29 @@ func (m *Model) inputsFor(s *mqo.Subplan, outputs []Profile) map[*mqo.Op][]Profi
 
 func (m *Model) tableProfile(o *mqo.Op) Profile {
 	k := tableKey{name: o.Table.Name, queries: o.Queries}
-	if p, ok := m.tableProf[k]; ok {
+	m.tableMu.RLock()
+	p, ok := m.tableProf[k]
+	m.tableMu.RUnlock()
+	if ok {
 		return p
 	}
-	p := TableProfile(o.Table, o.Queries)
+	p = TableProfile(o.Table, o.Queries)
+	m.tableMu.Lock()
 	m.tableProf[k] = p
+	m.tableMu.Unlock()
 	return p
 }
 
-// privateKey renders the subplan's private pace configuration.
-func (m *Model) privateKey(s *mqo.Subplan, paces []int) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(paces[s.ID]))
+// appendPrivateKey renders the subplan's private pace configuration into buf.
+// Callers look the key up as string(buf), which the compiler recognizes as an
+// allocation-free map access; the string is materialized only on store.
+func (m *Model) appendPrivateKey(buf []byte, s *mqo.Subplan, paces []int) []byte {
+	buf = strconv.AppendInt(buf, int64(paces[s.ID]), 10)
 	for _, d := range m.descendants[s.ID] {
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(paces[d]))
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(paces[d]), 10)
 	}
-	return b.String()
+	return buf
 }
 
 // BatchFinalWork estimates each query's final work when executed separately

@@ -29,6 +29,10 @@ type Options struct {
 	DisableMemo bool
 	// Deadline, when nonzero, aborts optimization with pace.ErrDeadline.
 	Deadline time.Time
+	// Workers bounds the pace optimizer's candidate-evaluation pool: 1
+	// searches sequentially, <= 0 defaults to GOMAXPROCS (see
+	// pace.Optimizer.Workers). Results are identical at any setting.
+	Workers int
 	// Calibration carries per-subplan correction factors learned from a
 	// previous recurrence (paper §3.2); base signatures survive rebuilds,
 	// so the factors apply to decomposed plans too.
@@ -415,5 +419,6 @@ func (d *Decomposer) newOptimizer(m *cost.Model) (*pace.Optimizer, error) {
 		return nil, err
 	}
 	o.Deadline = d.Opts.Deadline
+	o.Workers = d.Opts.Workers
 	return o, nil
 }

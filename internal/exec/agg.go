@@ -6,6 +6,7 @@ import (
 	"ishare/internal/plan"
 	"ishare/internal/value"
 	"sort"
+	"strconv"
 )
 
 // aggExec is an incremental shared hash aggregate. Groups are hashed once
@@ -20,6 +21,11 @@ import (
 type aggExec struct {
 	op     *mqo.Op
 	groups map[string]*groupState
+	// keyRow, keyBuf and args are per-tuple scratch buffers; group states
+	// clone what they retain.
+	keyRow value.Row
+	keyBuf []byte
+	args   []value.Value
 }
 
 func newAggExec(op *mqo.Op) *aggExec {
@@ -27,6 +33,9 @@ func newAggExec(op *mqo.Op) *aggExec {
 }
 
 type groupState struct {
+	// key is the group's encoded map key, kept so hot-path re-insertions
+	// into dirty sets need no re-encoding.
+	key      string
 	keyRow   value.Row
 	perQuery map[int]*queryAcc
 	lastOut  []delta.Tuple
@@ -149,25 +158,34 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		if bits.Empty() {
 			continue
 		}
-		// Group key.
-		keyRow := make(value.Row, len(g.op.GroupBy))
-		for i, ge := range g.op.GroupBy {
-			keyRow[i] = ge.E.Eval(t.Row)
+		// Group key, built in scratch buffers; the map lookup with
+		// string(keyBuf) does not allocate.
+		keyRow := g.keyRow[:0]
+		for _, ge := range g.op.GroupBy {
+			keyRow = append(keyRow, ge.E.Eval(t.Row))
 		}
-		key := value.Key(keyRow)
-		gs, ok := g.groups[key]
+		g.keyRow = keyRow
+		g.keyBuf = value.AppendKey(g.keyBuf[:0], keyRow)
+		gs, ok := g.groups[string(g.keyBuf)]
 		if !ok {
-			gs = &groupState{keyRow: keyRow, perQuery: make(map[int]*queryAcc)}
-			g.groups[key] = gs
-		}
-		dirty[key] = gs
-		// Evaluate aggregate arguments once per tuple.
-		args := make([]value.Value, len(g.op.Aggs))
-		for i, spec := range g.op.Aggs {
-			if spec.Arg != nil {
-				args[i] = spec.Arg.Eval(t.Row)
+			gs = &groupState{
+				key:      string(g.keyBuf),
+				keyRow:   keyRow.Clone(),
+				perQuery: make(map[int]*queryAcc),
 			}
+			g.groups[gs.key] = gs
 		}
+		dirty[gs.key] = gs
+		// Evaluate aggregate arguments once per tuple.
+		args := g.args[:0]
+		for _, spec := range g.op.Aggs {
+			var v value.Value
+			if spec.Arg != nil {
+				v = spec.Arg.Eval(t.Row)
+			}
+			args = append(args, v)
+		}
+		g.args = args
 		for _, q := range bits.Members() {
 			qa, ok := gs.perQuery[q]
 			if !ok {
@@ -223,6 +241,7 @@ func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 	}
 	var clusters []clustered
 	byKey := make(map[string]int)
+	var keyBuf []byte
 	for _, q := range g.op.Queries.Members() {
 		qa, ok := gs.perQuery[q]
 		if !ok || qa.n <= 0 {
@@ -233,12 +252,12 @@ func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 		for i, spec := range g.op.Aggs {
 			row = append(row, qa.accs[i].result(spec))
 		}
-		k := value.Key(row)
-		if idx, ok := byKey[k]; ok {
+		keyBuf = value.AppendKey(keyBuf[:0], row)
+		if idx, ok := byKey[string(keyBuf)]; ok {
 			clusters[idx].bits = clusters[idx].bits.With(q)
 			continue
 		}
-		byKey[k] = len(clusters)
+		byKey[string(keyBuf)] = len(clusters)
 		clusters = append(clusters, clustered{row: row, bits: mqo.Bit(q)})
 	}
 	var out []delta.Tuple
@@ -267,16 +286,24 @@ func sameTuples(a, b []delta.Tuple) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	tupleKey := func(buf []byte, t delta.Tuple) []byte {
+		buf = value.AppendKey(buf[:0], t.Row)
+		buf = append(buf, '#')
+		return strconv.AppendUint(buf, uint64(t.Bits), 16)
+	}
 	counts := make(map[string]int, len(a))
+	var buf []byte
 	for _, t := range a {
-		counts[value.Key(t.Row)+t.Bits.String()]++
+		buf = tupleKey(buf, t)
+		counts[string(buf)]++
 	}
 	for _, t := range b {
-		k := value.Key(t.Row) + t.Bits.String()
-		counts[k]--
-		if counts[k] < 0 {
+		buf = tupleKey(buf, t)
+		c := counts[string(buf)]
+		if c == 0 {
 			return false
 		}
+		counts[string(buf)] = c - 1
 	}
 	return true
 }

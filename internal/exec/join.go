@@ -35,10 +35,19 @@ type joinSide struct {
 	keys    []expr.Expr
 	buckets map[uint64][]*joinEntry
 	size    int64
+	// keyBuf is the scratch row reused by keyOf; update clones it before an
+	// entry retains the key.
+	keyBuf value.Row
+	hasher *value.Hasher
 }
 
 func newJoinSide(keys []expr.Expr) *joinSide {
-	return &joinSide{keys: keys, buckets: make(map[uint64][]*joinEntry)}
+	return &joinSide{
+		keys:    keys,
+		buckets: make(map[uint64][]*joinEntry),
+		keyBuf:  make(value.Row, 0, len(keys)),
+		hasher:  value.NewHasher(),
+	}
 }
 
 // joinEntry is one distinct (row, bits) with a net multiplicity.
@@ -49,18 +58,21 @@ type joinEntry struct {
 	count int
 }
 
-// keyOf evaluates the side's key expressions. ok is false when any key value
-// is NULL (NULL never equi-joins).
+// keyOf evaluates the side's key expressions into the side's scratch buffer.
+// ok is false when any key value is NULL (NULL never equi-joins). The
+// returned row is only valid until the next keyOf call on this side; update
+// clones it before retaining it in an entry.
 func (s *joinSide) keyOf(row value.Row) (value.Row, uint64, bool) {
-	key := make(value.Row, len(s.keys))
-	for i, e := range s.keys {
+	key := s.keyBuf[:0]
+	for _, e := range s.keys {
 		v := e.Eval(row)
 		if v.IsNull() {
 			return nil, 0, false
 		}
-		key[i] = v
+		key = append(key, v)
 	}
-	return key, value.HashRow(key), true
+	s.keyBuf = key
+	return key, s.hasher.RowHash(key), true
 }
 
 // update applies a delta to the side's multiset and returns the state work.
@@ -75,15 +87,16 @@ func (s *joinSide) update(t delta.Tuple, key value.Row, h uint64) int64 {
 			return 1
 		}
 	}
+	count := 1
 	if t.Sign == delta.Delete {
 		// Deleting a tuple that was never inserted: record a negative
 		// entry so a late matching insert cancels it. This keeps the
 		// multiset algebra closed under any delta order.
-		s.buckets[h] = append(bucket, &joinEntry{key: key, row: t.Row, bits: t.Bits, count: -1})
-		s.size++
-		return 1
+		count = -1
 	}
-	s.buckets[h] = append(bucket, &joinEntry{key: key, row: t.Row, bits: t.Bits, count: 1})
+	// key aliases the side's scratch buffer; the retained entry needs its
+	// own copy.
+	s.buckets[h] = append(bucket, &joinEntry{key: key.Clone(), row: t.Row, bits: t.Bits, count: count})
 	s.size++
 	return 1
 }
@@ -117,17 +130,15 @@ func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
 	var out []delta.Tuple
 
-	concat := func(l, r value.Row) value.Row {
-		row := make(value.Row, 0, len(l)+len(r))
-		row = append(row, l...)
-		row = append(row, r...)
-		return row
-	}
-	emit := func(row value.Row, bits mqo.Bitset, sign delta.Sign, count int) {
-		bits = bits.Intersect(j.op.Queries)
+	// emit filters on bits and multiplicity before allocating the
+	// concatenated row; callers already restrict bits to j.op.Queries.
+	emit := func(l, r value.Row, bits mqo.Bitset, sign delta.Sign, count int) {
 		if bits.Empty() || count == 0 {
 			return
 		}
+		row := make(value.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
 		bits = applyMarkers(j.op, row, bits)
 		if bits.Empty() {
 			return
@@ -136,10 +147,11 @@ func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		if n < 0 {
 			n, s = -n, -s
 		}
+		tup := delta.Tuple{Row: row, Bits: bits, Sign: s}
 		for i := 0; i < n; i++ {
-			out = append(out, delta.Tuple{Row: row, Bits: bits, Sign: s})
-			w.Output++
+			out = append(out, tup)
 		}
+		w.Output += int64(n)
 	}
 
 	// Phase 1: left deltas update left state and probe the right state
@@ -156,7 +168,7 @@ func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		}
 		w.State += j.left.update(delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}, key, h)
 		j.right.probe(key, h, func(e *joinEntry) {
-			emit(concat(t.Row, e.row), bits.Intersect(e.bits), t.Sign, e.count)
+			emit(t.Row, e.row, bits.Intersect(e.bits), t.Sign, e.count)
 		})
 	}
 	// Phase 2: right deltas update right state and probe the left state
@@ -173,7 +185,7 @@ func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		}
 		w.State += j.right.update(delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}, key, h)
 		j.left.probe(key, h, func(e *joinEntry) {
-			emit(concat(e.row, t.Row), bits.Intersect(e.bits), t.Sign, e.count)
+			emit(e.row, t.Row, bits.Intersect(e.bits), t.Sign, e.count)
 		})
 	}
 	return out, w

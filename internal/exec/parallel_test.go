@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 )
@@ -62,6 +63,64 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	for q := 0; q < 4; q++ {
 		if !reflect.DeepEqual(rSeq.SortedResults(q), rPar.SortedResults(q)) {
 			t.Errorf("query %d results differ", q)
+		}
+	}
+}
+
+// TestRunParallelMatchesSequentialRandomPaces is the property-test version:
+// random pace configurations and worker counts must produce the same report
+// and per-query results as the sequential runner.
+func TestRunParallelMatchesSequentialRandomPaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		h1, data := parallelHarness(t)
+		paces := make([]int, len(h1.graph.Subplans))
+		for i := range paces {
+			paces[i] = 1 + rng.Intn(6)
+		}
+		// Clamp to the parent <= child pace order the optimizer guarantees.
+		for pass := 0; pass < len(paces); pass++ {
+			for _, s := range h1.graph.Subplans {
+				for _, c := range s.Children {
+					if paces[s.ID] > paces[c.ID] {
+						paces[s.ID] = paces[c.ID]
+					}
+				}
+			}
+		}
+		workers := 2 + rng.Intn(6)
+
+		rSeq, err := NewRunner(h1.graph, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repSeq, err := rSeq.Run(paces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, _ := parallelHarness(t)
+		rPar, err := NewRunner(h2.graph, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repPar, err := rPar.RunParallel(paces, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if repSeq.TotalWork != repPar.TotalWork {
+			t.Errorf("trial %d paces %v workers %d: total work %d vs %d",
+				trial, paces, workers, repSeq.TotalWork, repPar.TotalWork)
+		}
+		if !reflect.DeepEqual(repSeq.QueryFinal, repPar.QueryFinal) {
+			t.Errorf("trial %d paces %v workers %d: query finals %v vs %v",
+				trial, paces, workers, repSeq.QueryFinal, repPar.QueryFinal)
+		}
+		for q := 0; q < 4; q++ {
+			if !reflect.DeepEqual(rSeq.SortedResults(q), rPar.SortedResults(q)) {
+				t.Errorf("trial %d paces %v workers %d: query %d results differ",
+					trial, paces, workers, q)
+			}
 		}
 	}
 }

@@ -97,6 +97,10 @@ type Request struct {
 	// Calibration optionally corrects the cost model with factors learned
 	// from a previous recurrence (see ExecuteWithCalibration).
 	Calibration cost.Calibration
+	// Workers bounds the pace search's candidate-evaluation pool: 1 is
+	// sequential, <= 0 defaults to GOMAXPROCS. Any setting returns the
+	// same plan.
+	Workers int
 }
 
 // AbsoluteConstraints converts relative final-work constraints (fractions
@@ -197,6 +201,7 @@ func planNoShare(req Request, nonuniform bool) (*Planned, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.Workers = req.Workers
 			pc, ev, err := o.Greedy()
 			if err != nil {
 				return nil, err
@@ -376,6 +381,7 @@ func planIShare(a Approach, req Request) (*Planned, error) {
 			Partial:     a == IShare,
 			BruteForce:  a == IShareBruteForce,
 			Calibration: req.Calibration,
+			Workers:     req.Workers,
 		},
 	}
 	res, err := d.Optimize()

@@ -10,6 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ishare/internal/cost"
@@ -21,8 +24,15 @@ import (
 var ErrDeadline = errors.New("pace: optimization deadline exceeded")
 
 // Optimizer searches pace configurations against a cost model.
+//
+// Each greedy step's candidate evaluations are mutually independent, so the
+// optimizer fans them out over a bounded worker pool (Workers). Selection is
+// deterministic — ties on incrementability break toward the lowest subplan ID
+// — so every worker count returns the same pace configuration and cost.Eval
+// as the sequential search.
 type Optimizer struct {
-	// Model evaluates configurations.
+	// Model evaluates configurations. Concurrent candidate evaluation
+	// relies on cost.Model's internal synchronization.
 	Model *cost.Model
 	// MaxPace is J, the largest allowed pace per subplan.
 	MaxPace int
@@ -31,8 +41,13 @@ type Optimizer struct {
 	Constraints []float64
 	// Deadline, when nonzero, aborts the search with ErrDeadline.
 	Deadline time.Time
+	// Workers bounds the candidate-evaluation pool: 1 evaluates candidates
+	// sequentially on the caller's goroutine (today's exact code path);
+	// <= 0 defaults to GOMAXPROCS.
+	Workers int
 
-	// Steps counts greedy iterations; Evals counts cost evaluations.
+	// Steps counts greedy iterations; Evals counts cost evaluations. Both
+	// are updated atomically; read them after the search returns.
 	Steps, Evals int64
 }
 
@@ -86,13 +101,69 @@ func (o *Optimizer) meets(e cost.Eval) bool {
 	return true
 }
 
-// eval wraps Model.Evaluate with bookkeeping and deadline enforcement.
+// eval wraps Model.Evaluate with bookkeeping and deadline enforcement. It is
+// called concurrently by the candidate-evaluation pool.
 func (o *Optimizer) eval(p []int) (cost.Eval, error) {
 	if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
 		return cost.Eval{}, ErrDeadline
 	}
-	o.Evals++
+	atomic.AddInt64(&o.Evals, 1)
 	return o.Model.Evaluate(p)
+}
+
+// workerCount resolves the effective pool size for n candidates.
+func (o *Optimizer) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// evalEach evaluates every candidate pace configuration, fanning out over the
+// worker pool; evals is positionally aligned with cands. A single worker
+// degenerates to the plain sequential loop. Errors (in practice only
+// ErrDeadline) are reported for the lowest-indexed failing candidate so
+// parallel and sequential searches fail identically.
+func (o *Optimizer) evalEach(cands [][]int) ([]cost.Eval, error) {
+	evals := make([]cost.Eval, len(cands))
+	w := o.workerCount(len(cands))
+	if w <= 1 {
+		for k, c := range cands {
+			ev, err := o.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			evals[k] = ev
+		}
+		return evals, nil
+	}
+	errs := make([]error, len(cands))
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1))
+				if k >= len(cands) {
+					return
+				}
+				evals[k], errs[k] = o.eval(cands[k])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return evals, nil
 }
 
 // childMin returns the minimum pace among subplan i's children (MaxPace+1
@@ -139,10 +210,9 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 		if o.meets(cur) || o.allAtMax(p) {
 			return p, cur, nil
 		}
-		o.Steps++
-		best := -1
-		bestInc := 0.0
-		var bestEval cost.Eval
+		atomic.AddInt64(&o.Steps, 1)
+		var ids []int
+		var cands [][]int
 		for i := 0; i < n; i++ {
 			if p[i] >= o.MaxPace {
 				continue
@@ -150,15 +220,24 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 			if p[i]+1 > o.childMin(i, p) {
 				continue // would out-pace a child subplan
 			}
-			p[i]++
-			cand, err := o.eval(p)
-			p[i]--
-			if err != nil {
-				return nil, cost.Eval{}, err
-			}
-			inc := o.Incrementability(cand, cur)
-			if best == -1 || inc > bestInc {
-				best, bestInc, bestEval = i, inc, cand
+			cand := append([]int(nil), p...)
+			cand[i]++
+			ids = append(ids, i)
+			cands = append(cands, cand)
+		}
+		evals, err := o.evalEach(cands)
+		if err != nil {
+			return nil, cost.Eval{}, err
+		}
+		best := -1
+		bestInc := 0.0
+		var bestEval cost.Eval
+		for k, i := range ids {
+			inc := o.Incrementability(evals[k], cur)
+			// Ties break toward the lowest subplan ID so the selection is
+			// independent of evaluation (and iteration) order.
+			if best == -1 || inc > bestInc || (inc == bestInc && i < best) {
+				best, bestInc, bestEval = i, inc, evals[k]
 			}
 		}
 		if best != -1 && bestInc > 0 {
@@ -190,9 +269,8 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 // candidates that would violate the parent≤child pace order elsewhere.
 func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64, error) {
 	g := o.Model.Graph
-	var best []int
-	bestInc := 0.0
-	var bestEval cost.Eval
+	var ids []int
+	var cands [][]int
 	for i := range g.Subplans {
 		if p[i] >= o.MaxPace {
 			continue
@@ -229,12 +307,21 @@ func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64
 		if !valid {
 			continue
 		}
-		ev, err := o.eval(cand)
-		if err != nil {
-			return nil, cost.Eval{}, 0, err
-		}
-		if inc := o.Incrementability(ev, cur); inc > bestInc {
-			best, bestInc, bestEval = cand, inc, ev
+		ids = append(ids, i)
+		cands = append(cands, cand)
+	}
+	evals, err := o.evalEach(cands)
+	if err != nil {
+		return nil, cost.Eval{}, 0, err
+	}
+	bestID := -1
+	var best []int
+	bestInc := 0.0
+	var bestEval cost.Eval
+	for k, i := range ids {
+		inc := o.Incrementability(evals[k], cur)
+		if inc > bestInc || (inc == bestInc && bestID != -1 && i < bestID) {
+			bestID, best, bestInc, bestEval = i, cands[k], inc, evals[k]
 		}
 	}
 	return best, bestEval, bestInc, nil
@@ -252,10 +339,9 @@ func (o *Optimizer) ReverseGreedy(start []int) ([]int, cost.Eval, error) {
 		return nil, cost.Eval{}, err
 	}
 	for {
-		o.Steps++
-		best := -1
-		bestInc := math.Inf(1)
-		var bestEval cost.Eval
+		atomic.AddInt64(&o.Steps, 1)
+		var ids []int
+		var cands [][]int
 		for i := 0; i < n; i++ {
 			if p[i] <= 1 {
 				continue
@@ -263,18 +349,26 @@ func (o *Optimizer) ReverseGreedy(start []int) ([]int, cost.Eval, error) {
 			if p[i]-1 < o.parentMax(i, p) {
 				continue // a parent would out-pace this subplan
 			}
-			p[i]--
-			cand, err := o.eval(p)
-			p[i]++
-			if err != nil {
-				return nil, cost.Eval{}, err
-			}
+			cand := append([]int(nil), p...)
+			cand[i]--
+			ids = append(ids, i)
+			cands = append(cands, cand)
+		}
+		evals, err := o.evalEach(cands)
+		if err != nil {
+			return nil, cost.Eval{}, err
+		}
+		best := -1
+		bestInc := math.Inf(1)
+		var bestEval cost.Eval
+		for k, i := range ids {
+			cand := evals[k]
 			if !o.noNewMisses(cand, cur) {
 				continue
 			}
 			// Lost benefit per unit of work saved: cur is the eager side.
 			inc := o.Incrementability(cur, cand)
-			if inc < bestInc {
+			if inc < bestInc || (inc == bestInc && best != -1 && i < best) {
 				best, bestInc, bestEval = i, inc, cand
 			}
 		}

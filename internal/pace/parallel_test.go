@@ -1,0 +1,240 @@
+package pace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ishare/internal/catalog"
+	"ishare/internal/cost"
+	"ishare/internal/mqo"
+	"ishare/internal/tpch"
+	"ishare/internal/value"
+)
+
+// tpchGraph binds the named TPC-H queries into one shared subplan graph.
+func tpchGraph(t *testing.T, names ...string) *mqo.Graph {
+	t.Helper()
+	cat, err := tpch.NewCatalog(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := tpch.ByName(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := tpch.Bind(qs, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mqo.Build(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// newSearch builds a fresh model and optimizer over g so each search starts
+// from a cold memo table.
+func newSearch(t *testing.T, g *mqo.Graph, rel []float64, maxPace, workers int) *Optimizer {
+	t.Helper()
+	m := cost.NewModel(g)
+	o, err := NewOptimizer(m, relConstraints(t, m, rel), maxPace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = workers
+	return o
+}
+
+// TestParallelGreedyMatchesSequential draws random constraint assignments
+// over several shared graphs and checks that the parallel candidate search
+// (Workers 8) returns bit-identical paces and cost.Eval to the sequential
+// search (Workers 1).
+func TestParallelGreedyMatchesSequential(t *testing.T) {
+	graphs := map[string]*mqo.Graph{
+		"paper":     paperGraph(t),
+		"q1-q15":    tpchGraph(t, "Q1", "Q15"),
+		"q3-q5-q10": tpchGraph(t, "Q3", "Q5", "Q10"),
+	}
+	choices := []float64{1.0, 0.5, 0.2, 0.1}
+	rng := rand.New(rand.NewSource(7))
+	for name, g := range graphs {
+		nq := g.Plan.NumQueries()
+		for trial := 0; trial < 4; trial++ {
+			rel := make([]float64, nq)
+			for q := range rel {
+				rel[q] = choices[rng.Intn(len(choices))]
+			}
+			seq := newSearch(t, g, rel, 12, 1)
+			par := newSearch(t, g, rel, 12, 8)
+			pSeq, evSeq, err := seq.Greedy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pPar, evPar, err := par.Greedy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pSeq, pPar) {
+				t.Errorf("%s rel %v: paces differ: sequential %v parallel %v", name, rel, pSeq, pPar)
+			}
+			if !reflect.DeepEqual(evSeq, evPar) {
+				t.Errorf("%s rel %v: evals differ: sequential %+v parallel %+v", name, rel, evSeq, evPar)
+			}
+			if seq.Evals != par.Evals {
+				t.Errorf("%s rel %v: eval counts differ: %d vs %d", name, rel, seq.Evals, par.Evals)
+			}
+		}
+	}
+}
+
+// TestParallelReverseGreedyMatchesSequential checks the same equivalence for
+// the reverse greedy used after decomposition.
+func TestParallelReverseGreedyMatchesSequential(t *testing.T) {
+	graphs := map[string]*mqo.Graph{
+		"paper":  paperGraph(t),
+		"q1-q15": tpchGraph(t, "Q1", "Q15"),
+	}
+	choices := []float64{1.0, 0.5, 0.2}
+	rng := rand.New(rand.NewSource(11))
+	for name, g := range graphs {
+		nq := g.Plan.NumQueries()
+		for trial := 0; trial < 3; trial++ {
+			rel := make([]float64, nq)
+			for q := range rel {
+				rel[q] = choices[rng.Intn(len(choices))]
+			}
+			start := make([]int, len(g.Subplans))
+			uniform := 2 + rng.Intn(8)
+			for i := range start {
+				start[i] = uniform
+			}
+			seq := newSearch(t, g, rel, 12, 1)
+			par := newSearch(t, g, rel, 12, 8)
+			pSeq, evSeq, err := seq.ReverseGreedy(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pPar, evPar, err := par.ReverseGreedy(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pSeq, pPar) {
+				t.Errorf("%s rel %v start %d: paces differ: sequential %v parallel %v", name, rel, uniform, pSeq, pPar)
+			}
+			if !reflect.DeepEqual(evSeq, evPar) {
+				t.Errorf("%s rel %v start %d: evals differ", name, rel, uniform)
+			}
+		}
+	}
+}
+
+// mirroredGraph builds two structurally identical single-table queries over
+// two tables with identical statistics, so their subplans tie exactly on
+// incrementability at every greedy step.
+func mirroredGraph(t *testing.T) *mqo.Graph {
+	t.Helper()
+	c := catalog.New()
+	for _, name := range []string{"t1", "t2"} {
+		err := c.Add(&catalog.Table{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "k", Type: value.KindInt},
+				{Name: "v", Type: value.KindFloat},
+			},
+			Stats: catalog.TableStats{
+				RowCount: 5000,
+				Columns: map[string]catalog.ColumnStats{
+					"k": {Distinct: 100, Min: value.Int(0), Max: value.Int(99)},
+					"v": {Distinct: 50, Min: value.Int(1), Max: value.Int(50)},
+				},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buildGraph(t, c, map[string]string{
+		"QA": `SELECT SUM(v) AS s FROM t1 GROUP BY k`,
+		"QB": `SELECT SUM(v) AS s FROM t2 GROUP BY k`,
+	}, []string{"QA", "QB"})
+}
+
+// TestGreedyTieBreakDeterminism documents the tie-breaking rule: when two
+// candidate increments have exactly equal incrementability, the lowest
+// subplan ID wins, independent of evaluation order and worker count.
+func TestGreedyTieBreakDeterminism(t *testing.T) {
+	g := mirroredGraph(t)
+	rel := []float64{0.5, 0.5}
+
+	// The mirrored subplans must produce a genuine exact tie on the first
+	// greedy step, otherwise this test exercises nothing.
+	o := newSearch(t, g, rel, 10, 1)
+	base, err := o.Model.Evaluate(Ones(len(g.Subplans)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs := make(map[float64][]int)
+	for i := range g.Subplans {
+		p := Ones(len(g.Subplans))
+		if p[i]+1 > o.childMin(i, p) {
+			continue
+		}
+		p[i]++
+		ev, err := o.Model.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := o.Incrementability(ev, base)
+		incs[inc] = append(incs[inc], i)
+	}
+	tied := false
+	for inc, ids := range incs {
+		if inc > 0 && len(ids) >= 2 {
+			tied = true
+		}
+	}
+	if !tied {
+		t.Fatalf("mirrored graph produced no exact incrementability tie: %v", incs)
+	}
+
+	ref := newSearch(t, g, rel, 10, 1)
+	want, wantEval, err := ref.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 12; run++ {
+		par := newSearch(t, g, rel, 10, 8)
+		got, gotEval, err := par.Greedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("run %d: paces differ under ties: sequential %v parallel %v", run, want, got)
+		}
+		if !reflect.DeepEqual(wantEval, gotEval) {
+			t.Fatalf("run %d: evals differ under ties", run)
+		}
+	}
+}
+
+// TestWorkerCountResolution pins the Workers knob semantics: non-positive
+// defaults to GOMAXPROCS and the pool never exceeds the candidate count.
+func TestWorkerCountResolution(t *testing.T) {
+	o := &Optimizer{Workers: 4}
+	if got := o.workerCount(100); got != 4 {
+		t.Errorf("workerCount(100) with Workers=4 = %d", got)
+	}
+	if got := o.workerCount(2); got != 2 {
+		t.Errorf("workerCount(2) with Workers=4 = %d, want 2 (capped)", got)
+	}
+	o.Workers = 0
+	if got := o.workerCount(1); got != 1 {
+		t.Errorf("workerCount(1) with default workers = %d, want 1", got)
+	}
+}

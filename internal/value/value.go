@@ -292,31 +292,45 @@ func hashClass(k Kind) uint8 {
 // Sum returns the accumulated hash.
 func (h *Hasher) Sum() uint64 { return h.h.Sum64() }
 
-// HashRow hashes a full row.
-func HashRow(r Row) uint64 {
-	h := NewHasher()
+// RowHash resets the hasher, mixes in a full row and returns its hash.
+// Reusing one Hasher across rows avoids a per-row allocation.
+func (h *Hasher) RowHash(r Row) uint64 {
+	h.h.Reset()
 	for _, v := range r {
 		h.WriteValue(v)
 	}
-	return h.Sum()
+	return h.h.Sum64()
+}
+
+// HashRow hashes a full row.
+func HashRow(r Row) uint64 {
+	var h Hasher
+	h.h.SetSeed(hashSeed)
+	return h.RowHash(r)
+}
+
+// AppendKey appends r's deterministic key encoding (see Key) to buf and
+// returns the extended slice. Hot paths keep a scratch buffer and look maps
+// up with string(buf), which the compiler compiles without allocating.
+func AppendKey(buf []byte, r Row) []byte {
+	for _, v := range r {
+		buf = append(buf, byte('0'+hashClass(v.K)))
+		switch v.K {
+		case KindString:
+			buf = strconv.AppendInt(buf, int64(len(v.S)), 10)
+			buf = append(buf, ':')
+			buf = append(buf, v.S...)
+		case KindNull:
+		default:
+			buf = strconv.AppendFloat(buf, v.AsFloat(), 'b', -1, 64)
+		}
+		buf = append(buf, ';')
+	}
+	return buf
 }
 
 // Key returns a deterministic string key for a row, used for map grouping
 // where exact equality (not just hash equality) is required.
 func Key(r Row) string {
-	var b strings.Builder
-	for _, v := range r {
-		b.WriteByte(byte('0' + hashClass(v.K)))
-		switch v.K {
-		case KindString:
-			b.WriteString(strconv.Itoa(len(v.S)))
-			b.WriteByte(':')
-			b.WriteString(v.S)
-		case KindNull:
-		default:
-			b.WriteString(strconv.FormatFloat(v.AsFloat(), 'b', -1, 64))
-		}
-		b.WriteByte(';')
-	}
-	return b.String()
+	return string(AppendKey(nil, r))
 }

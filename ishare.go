@@ -238,6 +238,10 @@ type Options struct {
 	// constraints with absolute final-work limits in work units (the
 	// paper supports both forms, §2.1). Keyed by query name.
 	AbsoluteConstraints map[string]float64
+	// OptWorkers bounds the pace search's candidate-evaluation pool: 1 is
+	// sequential, <= 0 (the default) uses GOMAXPROCS. The resulting plan
+	// is identical at any setting; only optimization wall time changes.
+	OptWorkers int
 }
 
 // Plan is an optimized shared execution plan.
@@ -283,6 +287,7 @@ func (e *Engine) Optimize(o Options) (*Plan, error) {
 		Constraints: abs,
 		MaxPace:     o.MaxPace,
 		Calibration: o.Calibration,
+		Workers:     o.OptWorkers,
 	})
 	if err != nil {
 		return nil, err

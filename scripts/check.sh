@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: build, vet, then the full test
+# suite under the race detector (the parallel pace search and the
+# wave-parallel executor must stay data-race-free).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "OK"
