@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check fuzz oracle
 
 build:
 	$(GO) build ./...
@@ -21,3 +22,16 @@ bench:
 
 check:
 	./scripts/check.sh
+
+# fuzz runs each native fuzz target for FUZZTIME (default 30s). Crashers are
+# minimized by the go tool and land under testdata/fuzz/ as new corpus seeds.
+fuzz:
+	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME)
+
+# oracle runs the full (non -short) differential suite: hundreds of seeded
+# workloads, each checked under batch, random pace vectors, Workers 1 and 4,
+# and three decomposed builds against the naive reference evaluator.
+oracle:
+	$(GO) test ./internal/oracle -run 'TestDifferential|TestInjectedBugCaught|TestShrunkSeeds' -v

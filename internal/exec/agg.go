@@ -18,6 +18,13 @@ import (
 // paper. Retracting the current MIN/MAX extremum forces a rescan of the
 // group's value multiset, whose cost is what makes such queries (Q15)
 // non-incrementable.
+// DebugSkipExtremumRescan, when set, makes MIN/MAX accumulators skip the
+// multiset rescan after their current extremum is retracted, leaving a stale
+// extremum behind. It exists solely so the differential-testing harness can
+// prove it detects (and shrinks) a realistic IVM bug; production code must
+// never set it.
+var DebugSkipExtremumRescan bool
+
 type aggExec struct {
 	op     *mqo.Op
 	groups map[string]*groupState
@@ -94,6 +101,11 @@ func (a *accum) update(spec plan.AggSpec, v value.Value, sign delta.Sign) int64 
 			return 0
 		}
 		// Deletion: if the current extremum was retracted, rescan.
+		if DebugSkipExtremumRescan {
+			// Fault injection for the differential harness: keep the stale
+			// extremum, reproducing the classic broken-MIN/MAX-IVM bug.
+			return 0
+		}
 		if a.curOK && f == a.cur && a.vals[f] == 0 {
 			rescan := int64(len(a.vals))
 			a.curOK = false

@@ -1,0 +1,145 @@
+package oracle_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ishare/internal/exec"
+	"ishare/internal/oracle"
+)
+
+// failingFor builds the shrinker predicate: a workload "fails" when the
+// harness reports any mismatch. Harness errors (unbindable SQL after a
+// shrink step) count as not-failing so the shrinker backs off.
+func failingFor(opts oracle.CheckOptions) func(*oracle.Workload) bool {
+	return func(w *oracle.Workload) bool {
+		m, err := oracle.Check(w, opts)
+		return err == nil && m != nil
+	}
+}
+
+// reportMismatch shrinks the workload and fails the test with a runnable
+// reproducer.
+func reportMismatch(t *testing.T, w *oracle.Workload, m *oracle.Mismatch, opts oracle.CheckOptions) {
+	t.Helper()
+	shrunk := oracle.Shrink(w, failingFor(opts))
+	sm, err := oracle.Check(shrunk, opts)
+	if err != nil || sm == nil {
+		// Shrinking lost the failure (should not happen); report the
+		// original.
+		t.Fatalf("seed %d: engine diverges from oracle: %v\nreproduce with:\n%s",
+			w.Seed, m, oracle.ReproGo(w))
+	}
+	t.Fatalf("seed %d: engine diverges from oracle: %v\nshrunk to %d queries / %d deltas; reproduce with:\n%s",
+		w.Seed, sm, len(shrunk.SQL), shrunk.Deltas(), oracle.ReproGo(shrunk))
+}
+
+// TestDifferential is the main generative differential test: each seeded
+// workload is executed by the shared engine under batch, ≥3 random pace
+// vectors, Workers 1 and 4, and three decomposed builds, and every
+// configuration's trigger-point results must equal the naive oracle's.
+func TestDifferential(t *testing.T) {
+	workloads := 220
+	if !testing.Short() {
+		workloads = 600
+	}
+	opts := oracle.DefaultCheckOptions()
+	for seed := int64(0); seed < int64(workloads); seed++ {
+		w := oracle.Generate(seed, oracle.DefaultOptions())
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nSQL: %v", seed, err, w.SQL)
+		}
+		if m != nil {
+			reportMismatch(t, w, m, opts)
+		}
+	}
+}
+
+// TestDifferentialMinMax hammers the paper's hard case: MIN/MAX under
+// deletion-heavy streams, where retracting the extremum forces a rescan.
+func TestDifferentialMinMax(t *testing.T) {
+	workloads := 60
+	if !testing.Short() {
+		workloads = 200
+	}
+	genOpts := oracle.DefaultOptions()
+	genOpts.ForceMinMax = true
+	opts := oracle.DefaultCheckOptions()
+	for seed := int64(0); seed < int64(workloads); seed++ {
+		w := oracle.Generate(seed, genOpts)
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nSQL: %v", seed, err, w.SQL)
+		}
+		if m != nil {
+			reportMismatch(t, w, m, opts)
+		}
+	}
+}
+
+// TestInjectedBugCaught proves the harness has teeth: with the engine's
+// MIN/MAX extremum rescan disabled (a realistic broken-IVM bug), the
+// differential test must find a divergence and shrink it to a tiny
+// reproducer.
+func TestInjectedBugCaught(t *testing.T) {
+	exec.DebugSkipExtremumRescan = true
+	defer func() { exec.DebugSkipExtremumRescan = false }()
+
+	genOpts := oracle.DefaultOptions()
+	genOpts.ForceMinMax = true
+	opts := oracle.DefaultCheckOptions()
+	for seed := int64(0); seed < 200; seed++ {
+		w := oracle.Generate(seed, genOpts)
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m == nil {
+			continue
+		}
+		shrunk := oracle.Shrink(w, failingFor(opts))
+		if sm, err := oracle.Check(shrunk, opts); err != nil || sm == nil {
+			t.Fatalf("shrink lost the failure: m=%v err=%v", sm, err)
+		}
+		if len(shrunk.SQL) > 2 {
+			t.Errorf("shrunk reproducer has %d queries, want ≤ 2", len(shrunk.SQL))
+		}
+		if shrunk.Deltas() > 10 {
+			t.Errorf("shrunk reproducer has %d deltas, want ≤ 10", shrunk.Deltas())
+		}
+		if t.Failed() {
+			t.Fatalf("reproducer:\n%s", oracle.ReproGo(shrunk))
+		}
+		return
+	}
+	t.Fatal("injected MIN/MAX bug was never detected")
+}
+
+// TestShrunkSeeds replays hand-kept shrunk workloads as deterministic
+// regressions; see reportMismatch for how new entries are produced.
+func TestShrunkSeeds(t *testing.T) {
+	for _, seed := range shrunkSeeds {
+		seed := seed
+		t.Run(seed.name, func(t *testing.T) {
+			m, err := oracle.Check(seed.w, oracle.DefaultCheckOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != nil {
+				t.Fatalf("engine diverges from oracle: %v", m)
+			}
+		})
+	}
+}
+
+// TestWorkloadDeterminism: Generate is a pure function of (seed, opts).
+func TestWorkloadDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := oracle.Generate(seed, oracle.DefaultOptions())
+		b := oracle.Generate(seed, oracle.DefaultOptions())
+		if fmt.Sprint(a.SQL) != fmt.Sprint(b.SQL) || a.Deltas() != b.Deltas() {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+	}
+}

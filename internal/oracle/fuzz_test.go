@@ -1,0 +1,33 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"ishare/internal/oracle"
+)
+
+// FuzzEngineVsOracle lets the fuzzer drive the workload generator's seed
+// space (plus the MIN/MAX-heavy mode switch) through the full differential
+// harness. Every workload is executed under batch, random pace vectors,
+// Workers 1 and 4, and three decomposed builds, and compared against the
+// naive oracle. Corpus entries under testdata/fuzz replay known-tricky
+// seeds deterministically in normal `go test` runs.
+func FuzzEngineVsOracle(f *testing.F) {
+	f.Add(int64(0), false)
+	f.Add(int64(1), true)
+	f.Add(int64(42), false)
+	f.Add(int64(13), true)
+	f.Fuzz(func(t *testing.T, seed int64, minmax bool) {
+		genOpts := oracle.DefaultOptions()
+		genOpts.ForceMinMax = minmax
+		w := oracle.Generate(seed, genOpts)
+		opts := oracle.DefaultCheckOptions()
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nSQL: %v", seed, err, w.SQL)
+		}
+		if m != nil {
+			reportMismatch(t, w, m, opts)
+		}
+	})
+}

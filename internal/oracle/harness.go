@@ -1,0 +1,197 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ishare/internal/exec"
+	"ishare/internal/mqo"
+)
+
+// CheckOptions configures the differential harness.
+type CheckOptions struct {
+	// PaceVectors is the number of random pace configurations to try on
+	// the shared plan (beyond batch).
+	PaceVectors int
+	// MaxPace bounds each subplan's random pace.
+	MaxPace int
+	// Workers lists the RunParallel worker counts to exercise.
+	Workers []int
+	// Decompose also runs a fully unshared build, a random query
+	// partition, and an aggregate-cut extraction.
+	Decompose bool
+	// Rand drives pace/partition choices; nil derives one from the
+	// workload seed so checks are reproducible.
+	Rand *rand.Rand
+}
+
+// DefaultCheckOptions matches the acceptance bar: ≥3 random pace vectors, a
+// decomposed variant and Workers 1 and 4.
+func DefaultCheckOptions() CheckOptions {
+	return CheckOptions{PaceVectors: 3, MaxPace: 6, Workers: []int{1, 4}, Decompose: true}
+}
+
+// Mismatch describes one divergence between the engine and the oracle.
+type Mismatch struct {
+	// Config names the engine configuration that diverged.
+	Config string
+	// Query is the index of the diverging query; SQL its text.
+	Query int
+	SQL   string
+	// Got and Want are canonical row keys from the engine and the oracle.
+	Got, Want []string
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("config %s, query %d (%s):\n  engine: %v\n  oracle: %v",
+		m.Config, m.Query, m.SQL, m.Got, m.Want)
+}
+
+// Check runs the workload through the shared engine under every configured
+// (pace, decomposition, workers) variant and compares each query's
+// trigger-point result against the naive oracle. It returns nil if all
+// configurations agree, a Mismatch for the first divergence, and an error
+// only for harness problems (unbindable SQL, engine construction failures)
+// that indicate a generator bug rather than an engine bug.
+func Check(w *Workload, opts CheckOptions) (*Mismatch, error) {
+	if opts.PaceVectors <= 0 {
+		opts.PaceVectors = 3
+	}
+	if opts.MaxPace <= 0 {
+		opts.MaxPace = 6
+	}
+	r := opts.Rand
+	if r == nil {
+		r = rand.New(rand.NewSource(w.Seed ^ 0x5deece66d))
+	}
+
+	queries, err := w.Bind()
+	if err != nil {
+		return nil, err
+	}
+	tables := FinalTables(w.Streams)
+	want := make([][]string, len(queries))
+	for i, q := range queries {
+		want[i] = Canon(Eval(q.Root, tables, nil))
+	}
+
+	data := exec.DeltaDataset(w.Streams)
+	run := func(config string, g *mqo.Graph, paces []int, workers int) (*Mismatch, error) {
+		runner, err := exec.NewDeltaRunner(g, data)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s: %w", config, err)
+		}
+		if workers > 0 {
+			_, err = runner.RunParallel(paces, workers)
+		} else {
+			_, err = runner.Run(paces)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s: %w", config, err)
+		}
+		for q := range queries {
+			got := Canon(runner.Results(q))
+			if !eqStrings(got, want[q]) {
+				return &Mismatch{Config: config, Query: q, SQL: w.SQL[q], Got: got, Want: want[q]}, nil
+			}
+		}
+		return nil, nil
+	}
+	buildGraph := func(opts mqo.BuildOptions, cut func(*mqo.Op) bool) (*mqo.Graph, error) {
+		sp, err := mqo.BuildWithOptions(queries, opts)
+		if err != nil {
+			return nil, err
+		}
+		if cut != nil {
+			return mqo.ExtractWithCuts(sp, cut)
+		}
+		return mqo.Extract(sp)
+	}
+	randPaces := func(g *mqo.Graph) []int {
+		paces := make([]int, len(g.Subplans))
+		for i := range paces {
+			paces[i] = 1 + r.Intn(opts.MaxPace)
+		}
+		return paces
+	}
+	ones := func(g *mqo.Graph) []int { return make1s(len(g.Subplans)) }
+
+	shared, err := buildGraph(mqo.BuildOptions{}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: shared build: %w", err)
+	}
+
+	// Batch at the trigger point: the ground configuration.
+	if m, err := run("shared/batch", shared, ones(shared), 0); m != nil || err != nil {
+		return m, err
+	}
+	// Pace-invariance: random pace vectors must not change results.
+	for i := 0; i < opts.PaceVectors; i++ {
+		paces := randPaces(shared)
+		if m, err := run(fmt.Sprintf("shared/paces=%v", paces), shared, paces, 0); m != nil || err != nil {
+			return m, err
+		}
+	}
+	// Worker-invariance: the parallel scheduler must not change results.
+	for _, workers := range opts.Workers {
+		paces := randPaces(shared)
+		config := fmt.Sprintf("shared/workers=%d/paces=%v", workers, paces)
+		if m, err := run(config, shared, paces, workers); m != nil || err != nil {
+			return m, err
+		}
+	}
+	if !opts.Decompose {
+		return nil, nil
+	}
+	// Decomposition-invariance: unsharing subplans must not change results.
+	decompositions := []struct {
+		name    string
+		classes func(sig string, q int) int
+		cut     func(*mqo.Op) bool
+	}{
+		{name: "unshared", classes: func(sig string, q int) int { return q }},
+		{name: "partitioned", classes: randomPartition(r, len(queries))},
+		{name: "agg-cuts", cut: func(o *mqo.Op) bool { return o.Kind == mqo.KindAggregate }},
+	}
+	for _, d := range decompositions {
+		g, err := buildGraph(mqo.BuildOptions{Classes: d.classes}, d.cut)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s build: %w", d.name, err)
+		}
+		paces := randPaces(g)
+		config := fmt.Sprintf("%s/paces=%v", d.name, paces)
+		if m, err := run(config, g, paces, 0); m != nil || err != nil {
+			return m, err
+		}
+	}
+	return nil, nil
+}
+
+// randomPartition assigns each query to one of two sharing classes.
+func randomPartition(r *rand.Rand, n int) func(sig string, q int) int {
+	classes := make([]int, n)
+	for i := range classes {
+		classes[i] = r.Intn(2)
+	}
+	return func(sig string, q int) int { return classes[q] }
+}
+
+func make1s(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,276 @@
+// Package oracle is the differential-testing reference for the shared
+// incremental engine. It contains a naive evaluator that executes bound
+// plans directly over materialized tables — nested-loop joins, full
+// recomputation of aggregates, no sharing, no incremental view maintenance,
+// no buffers — so that a bug in internal/exec cannot be mirrored here. The
+// package also provides a seeded workload generator (gen.go), a
+// differential + metamorphic harness (harness.go) and a test-case shrinker
+// (shrink.go).
+//
+// The paper's equivalence contract, which the harness enforces: every
+// (pace, decomposition, worker-count) configuration of the shared engine
+// must produce results identical to batch evaluation at the trigger point.
+package oracle
+
+import (
+	"sort"
+
+	"ishare/internal/delta"
+	"ishare/internal/mqo"
+	"ishare/internal/plan"
+	"ishare/internal/value"
+)
+
+// Work counts the logical rows the naive evaluator touched. It serves as a
+// ground-truth activity measure when sanity-bounding the cost model: unlike
+// exec.Work it is defined purely by the relational semantics, not by the
+// engine's data structures.
+type Work struct {
+	ScanRows    int64
+	FilterRows  int64
+	ProjectRows int64
+	JoinPairs   int64
+	GroupRows   int64
+}
+
+// Total sums all counters.
+func (w Work) Total() int64 {
+	return w.ScanRows + w.FilterRows + w.ProjectRows + w.JoinPairs + w.GroupRows
+}
+
+// Eval executes a bound plan over fully materialized tables and returns the
+// result rows (an unordered multiset). The w counter may be nil.
+func Eval(n plan.Node, tables map[string][]value.Row, w *Work) []value.Row {
+	if w == nil {
+		w = &Work{}
+	}
+	return eval(n, tables, w)
+}
+
+func eval(n plan.Node, tables map[string][]value.Row, w *Work) []value.Row {
+	switch x := n.(type) {
+	case *plan.Scan:
+		rows := tables[x.Table.Name]
+		w.ScanRows += int64(len(rows))
+		return rows
+	case *plan.Select:
+		in := eval(x.Input, tables, w)
+		w.FilterRows += int64(len(in))
+		var out []value.Row
+		for _, row := range in {
+			// SQL three-valued logic: NULL predicates drop the row.
+			if x.Pred.Eval(row).Truth() {
+				out = append(out, row)
+			}
+		}
+		return out
+	case *plan.Project:
+		in := eval(x.Input, tables, w)
+		w.ProjectRows += int64(len(in))
+		out := make([]value.Row, len(in))
+		for i, row := range in {
+			pr := make(value.Row, len(x.Exprs))
+			for j, ne := range x.Exprs {
+				pr[j] = ne.E.Eval(row)
+			}
+			out[i] = pr
+		}
+		return out
+	case *plan.Join:
+		return evalJoin(x, tables, w)
+	case *plan.Aggregate:
+		return evalAgg(x, tables, w)
+	default:
+		panic("oracle: unknown plan node")
+	}
+}
+
+// evalJoin is a nested-loop inner equi-join. NULL never matches NULL,
+// mirroring SQL equality semantics.
+func evalJoin(j *plan.Join, tables map[string][]value.Row, w *Work) []value.Row {
+	left := eval(j.Left, tables, w)
+	right := eval(j.Right, tables, w)
+	w.JoinPairs += int64(len(left)) * int64(len(right))
+	var out []value.Row
+	for _, l := range left {
+		for _, r := range right {
+			if joinMatch(j, l, r) {
+				row := make(value.Row, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+func joinMatch(j *plan.Join, l, r value.Row) bool {
+	for i := range j.LeftKeys {
+		lv, rv := l[j.LeftKeys[i]], r[j.RightKeys[i]]
+		if lv.IsNull() || rv.IsNull() {
+			return false
+		}
+		if value.Compare(lv, rv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// evalAgg recomputes every group from scratch. Semantics mirror the SQL the
+// engine implements: a group exists iff at least one input row maps to it
+// (so an empty input produces no output, even for a global aggregate);
+// SUM/AVG/MIN/MAX ignore NULL arguments and return NULL when every argument
+// was NULL; COUNT(*) counts rows, COUNT(arg) counts non-NULL arguments.
+func evalAgg(a *plan.Aggregate, tables map[string][]value.Row, w *Work) []value.Row {
+	in := eval(a.Input, tables, w)
+	w.GroupRows += int64(len(in))
+	type group struct {
+		keyRow value.Row
+		rows   []value.Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range in {
+		keyRow := make(value.Row, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			keyRow[i] = g.E.Eval(row)
+		}
+		k := value.Key(keyRow)
+		gs, ok := groups[k]
+		if !ok {
+			gs = &group{keyRow: keyRow}
+			groups[k] = gs
+			order = append(order, k)
+		}
+		gs.rows = append(gs.rows, row)
+	}
+	var out []value.Row
+	for _, k := range order {
+		gs := groups[k]
+		row := make(value.Row, 0, len(gs.keyRow)+len(a.Aggs))
+		row = append(row, gs.keyRow...)
+		for _, spec := range a.Aggs {
+			row = append(row, aggValue(spec, gs.rows))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// aggValue computes one aggregate over a group's rows by full recomputation.
+func aggValue(spec plan.AggSpec, rows []value.Row) value.Value {
+	if spec.Func == plan.AggCount {
+		var n int64
+		for _, row := range rows {
+			if spec.Arg == nil || !spec.Arg.Eval(row).IsNull() {
+				n++
+			}
+		}
+		return value.Int(n)
+	}
+	var (
+		count   int64
+		sum     float64
+		cur     float64
+		haveCur bool
+	)
+	for _, row := range rows {
+		v := spec.Arg.Eval(row)
+		if v.IsNull() {
+			continue
+		}
+		f := v.AsFloat()
+		count++
+		sum += f
+		if !haveCur ||
+			(spec.Func == plan.AggMin && f < cur) ||
+			(spec.Func == plan.AggMax && f > cur) {
+			cur = f
+			haveCur = true
+		}
+	}
+	if count == 0 {
+		return value.Null
+	}
+	switch spec.Func {
+	case plan.AggAvg:
+		return value.Float(sum / float64(count))
+	case plan.AggSum:
+		if spec.ResultKind() == value.KindInt {
+			return value.Int(int64(sum))
+		}
+		return value.Float(sum)
+	default: // MIN, MAX
+		if spec.ResultKind() == value.KindInt {
+			return value.Int(int64(cur))
+		}
+		return value.Float(cur)
+	}
+}
+
+// FinalTables folds each table's delta stream into its trigger-point
+// contents: the net multiset of rows, in first-insertion order.
+func FinalTables(streams map[string][]delta.Tuple) map[string][]value.Row {
+	out := make(map[string][]value.Row, len(streams))
+	for name, stream := range streams {
+		counts := make(map[string]int)
+		rows := make(map[string]value.Row)
+		var order []string
+		for _, t := range stream {
+			k := value.Key(t.Row)
+			if _, seen := rows[k]; !seen {
+				rows[k] = t.Row
+				order = append(order, k)
+			}
+			counts[k] += int(t.Sign)
+		}
+		var final []value.Row
+		for _, k := range order {
+			for i := 0; i < counts[k]; i++ {
+				final = append(final, rows[k])
+			}
+		}
+		out[name] = final
+	}
+	return out
+}
+
+// Canon converts an unordered row multiset into a sorted slice of
+// deterministic row keys, the comparison form used by the harness. It uses
+// value.Key, so Int(2) and Float(2.0) — which the engine's hash grouping
+// also identifies — compare equal.
+func Canon(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = value.Key(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows renders a row multiset sorted and human-readable for mismatch
+// reports.
+func Rows(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allQueries marks a base tuple valid for every query.
+const allQueries = mqo.Bitset(^uint64(0))
+
+// Ins builds an insertion tuple over the given column values, valid for all
+// queries. Shrunk reproducers are printed in terms of Ins/Del.
+func Ins(vals ...value.Value) delta.Tuple {
+	return delta.Tuple{Row: value.Row(vals), Bits: allQueries, Sign: delta.Insert}
+}
+
+// Del builds a deletion tuple over the given column values.
+func Del(vals ...value.Value) delta.Tuple {
+	return delta.Tuple{Row: value.Row(vals), Bits: allQueries, Sign: delta.Delete}
+}

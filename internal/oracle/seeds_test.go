@@ -1,0 +1,81 @@
+package oracle_test
+
+import (
+	"ishare/internal/catalog"
+	"ishare/internal/delta"
+	"ishare/internal/oracle"
+	"ishare/internal/value"
+)
+
+// shrunkSeed is one shrunk workload kept as a deterministic regression.
+type shrunkSeed struct {
+	name string
+	w    *oracle.Workload
+}
+
+// shrunkSeeds are the hardest cases the shrinker produced while the
+// DebugSkipExtremumRescan fault was injected (no real engine/oracle
+// mismatch has been found so far). Each pivots on retracting a MIN/MAX
+// extremum, so any regression in the aggregate's rescan path trips them
+// immediately — and deterministically, unlike the generative tests.
+var shrunkSeeds = []shrunkSeed{
+	{
+		// Delete the group's MIN while a larger value stays live.
+		name: "min-retraction-with-survivor",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindDate}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Date(7303)),
+					oracle.Del(value.Int(1), value.Date(7303)),
+					oracle.Ins(value.Int(2), value.Date(7303)),
+				},
+			},
+			SQL: []string{"SELECT t0.c1, MIN(t0.c0), COUNT(*) FROM t0 GROUP BY t0.c1"},
+		},
+	},
+	{
+		// The retracted extremum feeds a join and a HAVING marker over a
+		// NULL group key: the stale MIN would both mis-group and mis-filter.
+		name: "join-having-null-group",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}}},
+				{Name: "t2", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c2", Type: value.KindInt}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(4)),
+					oracle.Ins(value.Int(5)),
+					oracle.Del(value.Int(4)),
+				},
+				"t2": {
+					oracle.Ins(value.Int(4), value.Null),
+					oracle.Ins(value.Int(5), value.Null),
+				},
+			},
+			SQL: []string{"SELECT t2.c2, MIN(t0.c0) FROM t0, t2 WHERE t0.c0 = t2.c0 GROUP BY t2.c2 HAVING MIN(t0.c0) <> -1"},
+		},
+	},
+	{
+		// MAX and MIN over the same float column: deleting the first row
+		// retracts both extrema of the group at once, under a NOT LIKE
+		// filter.
+		name: "double-extremum-retraction",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindString}, {Name: "c2", Type: value.KindFloat}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(5), value.Str("ba"), value.Float(-1.5)),
+					oracle.Ins(value.Int(1), value.Str("ba"), value.Float(2)),
+					oracle.Del(value.Int(5), value.Str("ba"), value.Float(-1.5)),
+				},
+			},
+			SQL: []string{"SELECT t0.c1, MAX(t0.c2), MIN(t0.c2) FROM t0 WHERE t0.c1 NOT LIKE 'a%' GROUP BY t0.c1"},
+		},
+	},
+}

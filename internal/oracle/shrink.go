@@ -1,0 +1,268 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"ishare/internal/delta"
+	"ishare/internal/value"
+)
+
+// Shrink greedily minimizes a failing workload: it drops queries, then delta
+// chunks (ddmin-style halving down to single tuples), then unreferenced
+// columns and tables, keeping every candidate only if failing still reports
+// a failure. Delta removal repairs prefix-consistency (a deletion whose row
+// is no longer live is dropped too), so shrunk streams stay inside the
+// generator's contract and never introduce divergence of their own.
+func Shrink(w *Workload, failing func(*Workload) bool) *Workload {
+	cur := cloneWorkload(w)
+	if !failing(cur) {
+		return cur
+	}
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		if shrinkQueries(cur, failing) {
+			changed = true
+		}
+		if shrinkDeltas(cur, failing) {
+			changed = true
+		}
+		if shrinkColumns(cur, failing) {
+			changed = true
+		}
+		if shrinkTables(cur, failing) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+func cloneWorkload(w *Workload) *Workload {
+	c := &Workload{Seed: w.Seed, Streams: make(map[string][]delta.Tuple, len(w.Streams))}
+	c.Tables = append([]TableDef(nil), w.Tables...)
+	for i := range c.Tables {
+		c.Tables[i].Cols = append(c.Tables[i].Cols[:0:0], w.Tables[i].Cols...)
+	}
+	for name, s := range w.Streams {
+		c.Streams[name] = append([]delta.Tuple(nil), s...)
+	}
+	c.SQL = append([]string(nil), w.SQL...)
+	return c
+}
+
+func shrinkQueries(w *Workload, failing func(*Workload) bool) bool {
+	changed := false
+	for i := 0; i < len(w.SQL) && len(w.SQL) > 1; {
+		cand := cloneWorkload(w)
+		cand.SQL = append(cand.SQL[:i], cand.SQL[i+1:]...)
+		if failing(cand) {
+			*w = *cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// shrinkDeltas removes chunks of each table's stream, halving the chunk size
+// until single tuples, with consistency repair after every removal.
+func shrinkDeltas(w *Workload, failing func(*Workload) bool) bool {
+	changed := false
+	for _, td := range w.Tables {
+		for chunk := len(w.Streams[td.Name]); chunk >= 1; chunk /= 2 {
+			for start := 0; start < len(w.Streams[td.Name]); {
+				stream := w.Streams[td.Name]
+				end := start + chunk
+				if end > len(stream) {
+					end = len(stream)
+				}
+				cand := cloneWorkload(w)
+				rest := append(append([]delta.Tuple(nil), stream[:start]...), stream[end:]...)
+				cand.Streams[td.Name] = repairStream(rest)
+				if failing(cand) {
+					*w = *cand
+					changed = true
+				} else {
+					start += chunk
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// repairStream drops deletions that no longer retract a live row, restoring
+// the prefix-consistency the generator guarantees.
+func repairStream(stream []delta.Tuple) []delta.Tuple {
+	live := make(map[string]int)
+	out := stream[:0:0]
+	for _, t := range stream {
+		k := value.Key(t.Row)
+		if t.Sign == delta.Delete {
+			if live[k] == 0 {
+				continue
+			}
+			live[k]--
+		} else {
+			live[k]++
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// shrinkColumns drops trailing columns a query set no longer references.
+// Column references are detected textually on the qualified and bare names,
+// which can only under-approximate (keep a droppable column), never break a
+// query.
+func shrinkColumns(w *Workload, failing func(*Workload) bool) bool {
+	changed := false
+	for ti := range w.Tables {
+		td := &w.Tables[ti]
+		for ci := len(td.Cols) - 1; ci >= 1; ci-- {
+			col := td.Cols[ci]
+			if referenced(w.SQL, td.Name, col.Name) {
+				continue
+			}
+			cand := cloneWorkload(w)
+			ctd := &cand.Tables[ti]
+			ctd.Cols = append(ctd.Cols[:ci], ctd.Cols[ci+1:]...)
+			stream := cand.Streams[td.Name]
+			for i, t := range stream {
+				row := append(t.Row[:ci:ci], t.Row[ci+1:]...)
+				stream[i].Row = row
+			}
+			cand.Streams[td.Name] = repairStream(stream)
+			if failing(cand) {
+				*w = *cand
+				td = &w.Tables[ti]
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func shrinkTables(w *Workload, failing func(*Workload) bool) bool {
+	changed := false
+	for ti := 0; ti < len(w.Tables) && len(w.Tables) > 1; {
+		name := w.Tables[ti].Name
+		if referencedTable(w.SQL, name) {
+			ti++
+			continue
+		}
+		cand := cloneWorkload(w)
+		cand.Tables = append(cand.Tables[:ti], cand.Tables[ti+1:]...)
+		delete(cand.Streams, name)
+		if failing(cand) {
+			*w = *cand
+			changed = true
+		} else {
+			ti++
+		}
+	}
+	return changed
+}
+
+func referenced(sqls []string, table, col string) bool {
+	for _, s := range sqls {
+		if strings.Contains(s, table+"."+col) || strings.Contains(s, col+" ") ||
+			strings.Contains(s, col+",") || strings.HasSuffix(s, col) ||
+			strings.Contains(s, col+")") {
+			return true
+		}
+	}
+	return false
+}
+
+func referencedTable(sqls []string, table string) bool {
+	for _, s := range sqls {
+		if strings.Contains(s, table) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReproGo renders the workload as a runnable Go test body using the
+// oracle.Ins/Del helpers, ready to paste into a regression test in this
+// package.
+func ReproGo(w *Workload) string {
+	var b strings.Builder
+	b.WriteString("w := &oracle.Workload{\n")
+	fmt.Fprintf(&b, "\tSeed: %d,\n", w.Seed)
+	b.WriteString("\tTables: []oracle.TableDef{\n")
+	for _, td := range w.Tables {
+		fmt.Fprintf(&b, "\t\t{Name: %q, Cols: []catalog.Column{", td.Name)
+		for i, c := range td.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "{Name: %q, Type: value.Kind%s}", c.Name, kindName(c.Type))
+		}
+		b.WriteString("}},\n")
+	}
+	b.WriteString("\t},\n\tStreams: map[string][]delta.Tuple{\n")
+	for _, td := range w.Tables {
+		fmt.Fprintf(&b, "\t\t%q: {\n", td.Name)
+		for _, t := range w.Streams[td.Name] {
+			fn := "oracle.Ins"
+			if t.Sign == delta.Delete {
+				fn = "oracle.Del"
+			}
+			fmt.Fprintf(&b, "\t\t\t%s(%s),\n", fn, goRow(t.Row))
+		}
+		b.WriteString("\t\t},\n")
+	}
+	b.WriteString("\t},\n\tSQL: []string{\n")
+	for _, s := range w.SQL {
+		fmt.Fprintf(&b, "\t\t%q,\n", s)
+	}
+	b.WriteString("\t},\n}\n")
+	b.WriteString("m, err := oracle.Check(w, oracle.DefaultCheckOptions())\n")
+	b.WriteString("if err != nil { t.Fatal(err) }\n")
+	b.WriteString("if m != nil { t.Fatalf(\"engine diverges from oracle: %v\", m) }\n")
+	return b.String()
+}
+
+func kindName(k value.Kind) string {
+	switch k {
+	case value.KindInt:
+		return "Int"
+	case value.KindFloat:
+		return "Float"
+	case value.KindString:
+		return "String"
+	case value.KindBool:
+		return "Bool"
+	case value.KindDate:
+		return "Date"
+	default:
+		return "Null"
+	}
+}
+
+func goRow(r value.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		switch v.K {
+		case value.KindInt:
+			parts[i] = fmt.Sprintf("value.Int(%d)", v.I)
+		case value.KindFloat:
+			parts[i] = fmt.Sprintf("value.Float(%g)", v.F)
+		case value.KindString:
+			parts[i] = fmt.Sprintf("value.Str(%q)", v.S)
+		case value.KindBool:
+			parts[i] = fmt.Sprintf("value.Bool(%v)", v.I == 1)
+		case value.KindDate:
+			parts[i] = fmt.Sprintf("value.Date(%d)", v.I)
+		default:
+			parts[i] = "value.Null"
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind enumerates lexical token classes.
@@ -57,8 +58,9 @@ func lex(src string) ([]token, error) {
 		}
 		start := l.pos
 		c := l.src[l.pos]
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
 		switch {
-		case isIdentStart(rune(c)):
+		case isIdentStart(r):
 			l.lexIdent(start)
 		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
 			if err := l.lexNumber(start); err != nil {
@@ -86,10 +88,11 @@ func (l *lexer) skipSpace() {
 			}
 			continue
 		}
-		if !unicode.IsSpace(rune(c)) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsSpace(r) {
 			return
 		}
-		l.pos++
+		l.pos += size
 	}
 }
 
@@ -102,17 +105,41 @@ func isIdentPart(r rune) bool {
 }
 
 func (l *lexer) lexIdent(start int) {
-	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
 	}
 	text := l.src[start:l.pos]
-	lower := strings.ToLower(text)
+	lower := asciiLower(text)
 	kind := tokIdent
 	if keywords[lower] {
 		kind = tokKeyword
 		text = lower
 	}
 	l.toks = append(l.toks, token{kind: kind, text: text, pos: start})
+}
+
+// asciiLower lowercases ASCII letters only. SQL case-folding must not use
+// strings.ToLower: Unicode lowering can expand a single letter into a letter
+// plus a combining mark (e.g. İ becomes i followed by U+0307), producing an
+// identifier that no longer lexes as one token and breaking parse/render
+// round-trips.
+func asciiLower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if b[j] >= 'A' && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
 }
 
 func (l *lexer) lexNumber(start int) error {

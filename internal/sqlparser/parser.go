@@ -192,10 +192,10 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 		if t.kind != tokIdent {
 			return SelectItem{}, p.errorf("expected alias after AS")
 		}
-		item.Alias = strings.ToLower(p.advance().text)
+		item.Alias = asciiLower(p.advance().text)
 	} else if p.cur().kind == tokIdent {
 		// Bare alias: SELECT x total FROM ...
-		item.Alias = strings.ToLower(p.advance().text)
+		item.Alias = asciiLower(p.advance().text)
 	}
 	return item, nil
 }
@@ -214,21 +214,21 @@ func (p *parser) parseFromItem() (FromItem, error) {
 		if t.kind != tokIdent {
 			return FromItem{}, p.errorf("subquery requires an alias")
 		}
-		return FromItem{Alias: strings.ToLower(p.advance().text), Sub: sub}, nil
+		return FromItem{Alias: asciiLower(p.advance().text), Sub: sub}, nil
 	}
 	t := p.cur()
 	if t.kind != tokIdent {
 		return FromItem{}, p.errorf("expected table name")
 	}
-	fi := FromItem{Table: strings.ToLower(p.advance().text)}
+	fi := FromItem{Table: asciiLower(p.advance().text)}
 	fi.Alias = fi.Table
 	if p.cur().kind == tokIdent {
-		fi.Alias = strings.ToLower(p.advance().text)
+		fi.Alias = asciiLower(p.advance().text)
 	} else if p.acceptKeyword("as") {
 		if p.cur().kind != tokIdent {
 			return FromItem{}, p.errorf("expected alias after AS")
 		}
-		fi.Alias = strings.ToLower(p.advance().text)
+		fi.Alias = asciiLower(p.advance().text)
 	}
 	return fi, nil
 }
@@ -439,14 +439,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return nil, p.errorf("unexpected keyword")
 	case tokIdent:
 		p.advance()
-		name := strings.ToLower(t.text)
+		name := asciiLower(t.text)
 		if p.acceptSymbol(".") {
 			col := p.cur()
 			if col.kind != tokIdent {
 				return nil, p.errorf("expected column after %q.", name)
 			}
 			p.advance()
-			return &Ident{Qual: name, Name: strings.ToLower(col.text)}, nil
+			return &Ident{Qual: name, Name: asciiLower(col.text)}, nil
 		}
 		return &Ident{Name: name}, nil
 	case tokSymbol:

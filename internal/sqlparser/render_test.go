@@ -1,0 +1,49 @@
+package sqlparser
+
+import "testing"
+
+// TestRenderRoundTrip checks Render(Parse(x)) is a fixed point of
+// Parse∘Render on representative statements.
+func TestRenderRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT a FROM t",
+		"SELECT a, SUM(b) AS s FROM t WHERE a > 1 GROUP BY a HAVING SUM(b) > 2",
+		"SELECT x FROM (SELECT y AS x FROM u) s WHERE x BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE s IN ('x', 'y') AND NOT a = 1",
+		"SELECT COUNT(*) FROM t WHERE a == 1 AND b != 2",
+		"SELECT t.a, u.b FROM t, u WHERE t.k = u.k AND u.s LIKE 'a%'",
+		"SELECT a FROM t alias WHERE alias.a <> 3 ORDER BY a DESC LIMIT 5",
+		"SELECT -a + 2 * b AS v FROM t WHERE NOT (a < 1 OR b >= 2.5)",
+		`SELECT a FROM t WHERE s = "it's"`,
+	}
+	for _, sql := range cases {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		r1 := Render(stmt)
+		stmt2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("reparse of rendered %q -> %q: %v", sql, r1, err)
+		}
+		if r2 := Render(stmt2); r1 != r2 {
+			t.Errorf("render not canonical for %q:\n  first:  %q\n  second: %q", sql, r1, r2)
+		}
+	}
+}
+
+// TestUnicodeIdentifierFolding is the regression test for case-folding with
+// strings.ToLower: İ (U+0130) lowers to i + combining dot above, which is not
+// an identifier character, so the parsed name would no longer re-lex as one
+// token. Folding must therefore be ASCII-only.
+func TestUnicodeIdentifierFolding(t *testing.T) {
+	sql := "SELECT İd FROM t"
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	r := Render(stmt)
+	if _, err := Parse(r); err != nil {
+		t.Fatalf("rendered form %q of %q does not reparse: %v", r, sql, err)
+	}
+}

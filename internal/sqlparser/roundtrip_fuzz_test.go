@@ -1,0 +1,40 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParserRoundTrip checks that every statement the parser accepts renders
+// back to SQL that (a) the parser accepts again and (b) renders to the same
+// canonical text — i.e. Render∘Parse is idempotent after one application.
+// Together with FuzzParse (no panics) this pins the dialect: any accepted
+// input has a canonical spelling with an identical AST.
+func FuzzParserRoundTrip(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT a, SUM(b) AS s FROM t WHERE a > 1 GROUP BY a HAVING SUM(b) > 2",
+		"SELECT x FROM (SELECT y AS x FROM u) s WHERE x BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE s IN ('x', 'y') AND NOT a = 1",
+		"SELECT t.a, u.b FROM t, u WHERE t.k = u.k AND u.s NOT LIKE 'a%'",
+		"SELECT -a + 2 * b AS v FROM t WHERE NOT (a < 1 OR b >= 2.5)",
+		"SELECT a FROM t alias ORDER BY a DESC, 2 LIMIT 7",
+		`SELECT a FROM t WHERE s = "it's"`,
+		"SELECT İd FROM t",
+		"select Σ from t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejection is fine
+		}
+		r1 := Render(stmt)
+		stmt2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", sql, r1, err)
+		}
+		if r2 := Render(stmt2); r1 != r2 {
+			t.Fatalf("rendering of %q is not canonical:\n  first:  %q\n  second: %q", sql, r1, r2)
+		}
+	})
+}

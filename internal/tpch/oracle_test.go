@@ -1,0 +1,91 @@
+package tpch
+
+import (
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ishare/internal/exec"
+	"ishare/internal/mqo"
+	"ishare/internal/oracle"
+	"ishare/internal/value"
+)
+
+// roundedRows renders oracle output in the same 9-significant-digit form as
+// roundedResults: TPC-H aggregates sum arbitrary floats, so the engine's
+// delta-order-dependent accumulation legitimately differs from the oracle's
+// table-order recomputation in the lowest bits.
+func roundedRows(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.K == value.KindFloat {
+				parts[j] = strconv.FormatFloat(v.F, 'g', 9, 64)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestOracleMatchesEngineOnTPCH cross-validates the naive oracle evaluator
+// against the shared engine on the full adapted TPC-H workload — insert-only
+// and with deletion/update streams. This is the oracle's own acceptance
+// test: the differential harness is only as trustworthy as the reference.
+func TestOracleMatchesEngineOnTPCH(t *testing.T) {
+	const sf = 0.004
+	cat, err := NewCatalog(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := append(All(), PaperQA, PaperQB)
+	bound, err := Bind(queries, cat, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data exec.DeltaDataset) {
+		sp, err := mqo.Build(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := mqo.Extract(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := exec.NewDeltaRunner(g, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paces := make([]int, len(g.Subplans))
+		for i := range paces {
+			paces[i] = 1
+		}
+		if _, err := r.Run(paces); err != nil {
+			t.Fatal(err)
+		}
+		tables := oracle.FinalTables(data)
+		for q := range bound {
+			want := roundedRows(oracle.Eval(bound[q].Root, tables, nil))
+			got := roundedResults(r, q)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s %s: engine %d rows vs oracle %d rows", name, bound[q].Name, len(got), len(want))
+			}
+		}
+	}
+
+	insertOnly := make(exec.DeltaDataset)
+	for table, rows := range Generate(sf, 21) {
+		for _, row := range rows {
+			insertOnly[table] = append(insertOnly[table], oracle.Ins(row...))
+		}
+	}
+	check("insert-only", insertOnly)
+	check("with-updates", GenerateWithUpdates(sf, 22, 0.15))
+}

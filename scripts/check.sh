@@ -1,8 +1,12 @@
 #!/bin/sh
-# check.sh — the repo's pre-merge gate: build, vet, then the full test
-# suite under the race detector (the parallel pace search and the
-# wave-parallel executor must stay data-race-free).
+# check.sh — the repo's pre-merge gate: build, vet, the full test suite
+# under the race detector (the parallel pace search and the wave-parallel
+# executor must stay data-race-free), then a short fuzz smoke over the
+# native fuzz targets. Set SKIP_FUZZ=1 to stop after the race tests, and
+# FUZZTIME (default 10s) to change the per-target fuzz budget.
 set -eu
+
+FUZZTIME="${FUZZTIME:-10s}"
 
 cd "$(dirname "$0")/.."
 
@@ -14,5 +18,12 @@ go vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+if [ "${SKIP_FUZZ:-}" != "1" ]; then
+	echo "== fuzz smoke ($FUZZTIME per target)"
+	go test ./internal/oracle -run '^$' -fuzz FuzzEngineVsOracle -fuzztime "$FUZZTIME"
+	go test ./internal/sqlparser -run '^$' -fuzz FuzzParserRoundTrip -fuzztime "$FUZZTIME"
+	go test ./internal/sqlparser -run '^$' -fuzz 'FuzzParse$' -fuzztime "$FUZZTIME"
+fi
 
 echo "OK"
