@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench check fuzz oracle
+.PHONY: build test race vet bench check fuzz oracle soak
+SOAKTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -29,6 +30,14 @@ fuzz:
 	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzEngineVsOracle -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME)
+
+# soak fuzzes the scheduler runtime for SOAKTIME (default 30s) of wall
+# clock under the race detector: random workloads, pace vectors, window
+# splits, worker counts and injected slowdowns, each scenario checked for
+# byte-identical reruns and oracle-matching results. Scenario clocks are
+# virtual; SOAKTIME only bounds how many scenarios run.
+soak:
+	$(GO) test ./internal/sched -race -run TestSchedulerSoak -soaktime $(SOAKTIME) -v
 
 # oracle runs the full (non -short) differential suite: hundreds of seeded
 # workloads, each checked under batch, random pace vectors, Workers 1 and 4,

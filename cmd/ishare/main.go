@@ -1,46 +1,93 @@
 // Command ishare runs the paper's experiments from the terminal:
 //
 //	ishare -experiment fig9 -sf 0.05 -maxpace 40
+//	ishare -experiment sched -serve-metrics :8080
 //	ishare -experiment all
 //
 // Experiments: fig9, fig10, fig11, fig12, table1, fig13, table2, fig14,
-// table3, fig15, fig16, fig17a, fig17b, fig17c, all.
+// table3, fig15, fig16, fig17a, fig17b, fig17c, sched, accuracy, all.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"ishare/internal/experiments"
+	"ishare/internal/metrics"
 	"ishare/internal/mqo"
 	"ishare/internal/tpch"
 )
 
-func main() {
+// options is the parsed command line.
+type options struct {
+	Experiment   string
+	Config       experiments.Config
+	DOT          string
+	ServeMetrics string
+}
+
+// parseArgs parses the command line (sans program name) into options; split
+// out of main so tests can drive the full flag → Config plumbing.
+func parseArgs(args []string) (*options, error) {
+	fs := flag.NewFlagSet("ishare", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig9..fig17c, table1..table3, all)")
-		sf         = flag.Float64("sf", 0.05, "TPC-H scale factor")
-		seed       = flag.Int64("seed", 1, "data and constraint seed")
-		maxPace    = flag.Int("maxpace", 40, "maximum pace J")
-		optWorkers = flag.Int("opt-workers", 0, "pace-search candidate evaluation workers (1 = sequential, 0 = GOMAXPROCS)")
-		budget     = flag.Duration("dnf", 30*time.Second, "optimization budget before DNF (fig15)")
-		dot        = flag.String("dot", "", "instead of an experiment, write the shared plan of the named queries (comma-separated, e.g. Q1,Q15) as Graphviz DOT to stdout")
+		experiment   = fs.String("experiment", "all", "experiment id (fig9..fig17c, table1..table3, sched, accuracy, all)")
+		sf           = fs.Float64("sf", 0.05, "TPC-H scale factor")
+		seed         = fs.Int64("seed", 1, "data and constraint seed")
+		maxPace      = fs.Int("maxpace", 40, "maximum pace J")
+		optWorkers   = fs.Int("opt-workers", 0, "pace-search candidate evaluation workers (1 = sequential, 0 = GOMAXPROCS)")
+		budget       = fs.Duration("dnf", 30*time.Second, "optimization budget before DNF (fig15)")
+		dot          = fs.String("dot", "", "instead of an experiment, write the shared plan of the named queries (comma-separated, e.g. Q1,Q15) as Graphviz DOT to stdout")
+		serveMetrics = fs.String("serve-metrics", "", "serve scheduler metrics as JSON on this address (e.g. :8080) while and after running the experiment")
 	)
-	flag.Parse()
-	cfg := experiments.Config{SF: *sf, Seed: *seed, MaxPace: *maxPace, DNFBudget: *budget, OptWorkers: *optWorkers}
-	if *dot != "" {
-		if err := writeDOT(*dot, cfg); err != nil {
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return &options{
+		Experiment: *experiment,
+		Config: experiments.Config{
+			SF: *sf, Seed: *seed, MaxPace: *maxPace,
+			DNFBudget: *budget, OptWorkers: *optWorkers,
+		},
+		DOT:          *dot,
+		ServeMetrics: *serveMetrics,
+	}, nil
+}
+
+func main() {
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if opts.DOT != "" {
+		if err := writeDOT(opts.DOT, opts.Config); err != nil {
 			fmt.Fprintln(os.Stderr, "ishare:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*experiment, cfg); err != nil {
+	var reg *metrics.Registry
+	if opts.ServeMetrics != "" {
+		reg = metrics.NewRegistry()
+		go func() {
+			if err := http.ListenAndServe(opts.ServeMetrics, metrics.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "ishare: serve-metrics:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ishare: serving metrics on %s\n", opts.ServeMetrics)
+	}
+	if err := run(os.Stdout, opts.Experiment, opts.Config, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "ishare:", err)
 		os.Exit(1)
+	}
+	if opts.ServeMetrics != "" {
+		fmt.Fprintf(os.Stderr, "ishare: experiment done; still serving metrics on %s (interrupt to exit)\n", opts.ServeMetrics)
+		select {}
 	}
 }
 
@@ -70,8 +117,7 @@ func writeDOT(names string, cfg experiments.Config) error {
 	return g.WriteDOT(os.Stdout, nil)
 }
 
-func run(id string, cfg experiments.Config) error {
-	out := os.Stdout
+func run(out *os.File, id string, cfg experiments.Config, reg *metrics.Registry) error {
 	switch id {
 	case "fig9":
 		r, err := experiments.Figure9(cfg)
@@ -149,6 +195,12 @@ func run(id string, cfg experiments.Config) error {
 			return err
 		}
 		r.Report(out)
+	case "sched":
+		r, err := experiments.SchedulerLatency(cfg, reg)
+		if err != nil {
+			return err
+		}
+		r.Report(out)
 	case "fig17a", "fig17b", "fig17c":
 		label := map[string]string{"fig17a": "PairA", "fig17b": "PairB", "fig17c": "PairC"}[id]
 		r, err := experiments.Figure17(cfg, label)
@@ -160,10 +212,10 @@ func run(id string, cfg experiments.Config) error {
 		for _, each := range []string{
 			"fig9", "fig10", "fig11", "fig12", "table1", "fig13", "table2",
 			"fig14", "table3", "fig15", "fig16", "fig17a", "fig17b", "fig17c",
-			"accuracy",
+			"accuracy", "sched",
 		} {
 			fmt.Fprintf(out, "==== %s ====\n", each)
-			if err := run(each, cfg); err != nil {
+			if err := run(out, each, cfg, reg); err != nil {
 				return fmt.Errorf("%s: %w", each, err)
 			}
 			fmt.Fprintln(out)

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+// TestParseArgsOptWorkers pins the CLI end of the Workers plumbing chain:
+// -opt-workers must land in experiments.Config.OptWorkers (from where the
+// experiments forward it into opt.Request and down to the pace search —
+// covered by the chain tests in internal/experiments and the root package).
+func TestParseArgsOptWorkers(t *testing.T) {
+	opts, err := parseArgs([]string{"-experiment", "sched", "-opt-workers", "3", "-serve-metrics", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Config.OptWorkers != 3 {
+		t.Errorf("OptWorkers = %d, want 3", opts.Config.OptWorkers)
+	}
+	if opts.Experiment != "sched" {
+		t.Errorf("Experiment = %q, want sched", opts.Experiment)
+	}
+	if opts.ServeMetrics != ":0" {
+		t.Errorf("ServeMetrics = %q, want :0", opts.ServeMetrics)
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	opts, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Config.OptWorkers != 0 {
+		t.Errorf("default OptWorkers = %d, want 0 (GOMAXPROCS)", opts.Config.OptWorkers)
+	}
+	if opts.Experiment != "all" {
+		t.Errorf("default Experiment = %q, want all", opts.Experiment)
+	}
+	if opts.ServeMetrics != "" {
+		t.Errorf("default ServeMetrics = %q, want empty", opts.ServeMetrics)
+	}
+}
+
+func TestParseArgsRejectsUnknownFlag(t *testing.T) {
+	if _, err := parseArgs([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

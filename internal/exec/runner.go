@@ -31,11 +31,20 @@ type Runner struct {
 	Execs    []*SubplanExec
 	tables   map[string]*buffer.Log
 	appended map[string]int
+	// windowBase marks, per table, where the current trigger window's
+	// stream starts (see StartWindow); zero for single-window Run use.
+	windowBase map[string]int
 }
 
 // NewRunner builds fresh operator state, buffers and table logs for an
 // insert-only dataset.
 func NewRunner(g *mqo.Graph, data Dataset) (*Runner, error) {
+	return NewDeltaRunner(g, InsertStream(data))
+}
+
+// InsertStream converts an insert-only dataset into delta form (every row an
+// insertion valid for all queries), preserving arrival order.
+func InsertStream(data Dataset) DeltaDataset {
 	deltas := make(DeltaDataset, len(data))
 	for name, rows := range data {
 		ts := make([]delta.Tuple, len(rows))
@@ -44,16 +53,17 @@ func NewRunner(g *mqo.Graph, data Dataset) (*Runner, error) {
 		}
 		deltas[name] = ts
 	}
-	return NewDeltaRunner(g, deltas)
+	return deltas
 }
 
 // NewDeltaRunner builds a runner over signed change streams.
 func NewDeltaRunner(g *mqo.Graph, data DeltaDataset) (*Runner, error) {
 	r := &Runner{
-		Graph:    g,
-		Data:     data,
-		tables:   make(map[string]*buffer.Log),
-		appended: make(map[string]int),
+		Graph:      g,
+		Data:       data,
+		tables:     make(map[string]*buffer.Log),
+		appended:   make(map[string]int),
+		windowBase: make(map[string]int),
 	}
 	// Every scanned table needs data (possibly empty).
 	for _, s := range g.Subplans {
@@ -173,11 +183,13 @@ func (r *Runner) Run(paces []int) (*Report, error) {
 	return rep, nil
 }
 
-// arriveUpTo appends each table's deltas up to fraction j/p of its stream.
+// arriveUpTo appends each table's deltas up to fraction j/p of the current
+// window's stream (the whole stream when StartWindow was never called).
 func (r *Runner) arriveUpTo(j, p int) {
 	for name, log := range r.tables {
 		tuples := r.Data[name]
-		target := len(tuples) * j / p
+		base := r.windowBase[name]
+		target := base + (len(tuples)-base)*j/p
 		from := r.appended[name]
 		if target > from {
 			log.Append(tuples[from:target]...)
@@ -185,6 +197,31 @@ func (r *Runner) arriveUpTo(j, p int) {
 		}
 	}
 }
+
+// StartWindow begins a new trigger window: the given deltas are appended to
+// each table's stream and become the window's arrivals, and fractions passed
+// to ArriveWindow are measured over them alone. Operator and buffer state
+// carries over — the engine keeps ingesting, as the paper's recurring
+// trigger windows do. The scheduler runtime (internal/sched) drives
+// multi-window executions through this; Run and RunParallel consume the
+// single window the Runner was constructed with.
+func (r *Runner) StartWindow(arrivals DeltaDataset) {
+	for name := range r.tables {
+		r.windowBase[name] = len(r.Data[name])
+	}
+	for name, ts := range arrivals {
+		r.Data[name] = append(r.Data[name], ts...)
+	}
+}
+
+// ArriveWindow appends each table's deltas up to fraction j/p of the current
+// window's arrivals.
+func (r *Runner) ArriveWindow(j, p int) { r.arriveUpTo(j, p) }
+
+// RunSubplan performs one incremental execution of subplan id and returns
+// the execution's work — the per-execution reporting the scheduler runtime
+// charges against its clock.
+func (r *Runner) RunSubplan(id int) Work { return r.Execs[id].RunOnce() }
 
 // Results returns query q's current materialized result rows.
 func (r *Runner) Results(q int) []value.Row {

@@ -81,6 +81,14 @@ func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver) (*Subplan
 	return se, nil
 }
 
+// DebugSlowSubplan, when non-nil, returns extra Fixed work charged to every
+// incremental execution of the given subplan — fault injection for the
+// scheduler runtime's overload tests, mirroring DebugSkipExtremumRescan. It
+// makes a subplan look arbitrarily expensive to any clock that translates
+// work into time, without slowing the test suite down; production code must
+// never set it.
+var DebugSlowSubplan func(subplanID int) int64
+
 // RunOnce performs one incremental execution and returns its work.
 func (se *SubplanExec) RunOnce() Work {
 	out, w := se.eval(se.Sub.Root)
@@ -90,6 +98,9 @@ func (se *SubplanExec) RunOnce() Work {
 	// and every incremental execution pays the fixed startup cost.
 	w.Output += int64(len(out))
 	w.Fixed += StartupCostPerOp * int64(len(se.Sub.Ops))
+	if DebugSlowSubplan != nil {
+		w.Fixed += DebugSlowSubplan(se.Sub.ID)
+	}
 	se.perExec = append(se.perExec, w)
 	return w
 }

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWindowedRunMatchesSingleRun drives the scheduler-facing window API by
+// hand — two trigger windows, each arriving in halves — and checks the
+// trigger-point results equal a plain single-window Run over the
+// concatenated stream.
+func TestWindowedRunMatchesSingleRun(t *testing.T) {
+	h := newHarness(t, map[string]string{
+		"q": "SELECT l_partkey, SUM(l_quantity) FROM lineitem GROUP BY l_partkey",
+	}, []string{"q"})
+	rows := lineitemRows(
+		[2]int64{1, 10}, [2]int64{2, 20}, [2]int64{1, 5}, [2]int64{3, 7},
+		[2]int64{2, 2}, [2]int64{3, 3}, [2]int64{1, 1}, [2]int64{2, 9},
+	)
+	full := Dataset{"lineitem": rows}
+
+	_, want := func() (*Runner, []string) {
+		r, err := NewRunner(h.graph, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paces := make([]int, len(h.graph.Subplans))
+		for i := range paces {
+			paces[i] = 4
+		}
+		if _, err := r.Run(paces); err != nil {
+			t.Fatal(err)
+		}
+		return r, r.SortedResults(0)
+	}()
+
+	// Windowed: same stream split across two windows, each arriving in two
+	// halves with every subplan fired at each half (pace 2 per window).
+	wr, err := NewDeltaRunner(h.graph, DeltaDataset{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := InsertStream(full)["lineitem"]
+	for w := 0; w < 2; w++ {
+		wr.StartWindow(DeltaDataset{"lineitem": deltas[w*4 : (w+1)*4]})
+		for j := 1; j <= 2; j++ {
+			wr.ArriveWindow(j, 2)
+			for id := range h.graph.Subplans {
+				if work := wr.RunSubplan(id); work.Total() <= 0 && j == 2 {
+					t.Errorf("window %d firing %d subplan %d reported no work", w, j, id)
+				}
+			}
+		}
+	}
+	got := wr.SortedResults(0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("windowed results = %v, want %v", got, want)
+	}
+}
+
+func TestArriveWindowFractions(t *testing.T) {
+	h := newHarness(t, map[string]string{
+		"q": "SELECT l_partkey FROM lineitem",
+	}, []string{"q"})
+	r, err := NewDeltaRunner(h.graph, DeltaDataset{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := r.TableLog("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := InsertStream(Dataset{"lineitem": lineitemRows(
+		[2]int64{1, 1}, [2]int64{2, 2}, [2]int64{3, 3}, [2]int64{4, 4},
+	)})["lineitem"]
+
+	r.StartWindow(DeltaDataset{"lineitem": stream[:2]})
+	r.ArriveWindow(1, 2)
+	if log.Len() != 1 {
+		t.Errorf("after 1/2 of window 0: log has %d rows, want 1", log.Len())
+	}
+	r.ArriveWindow(2, 2)
+	if log.Len() != 2 {
+		t.Errorf("after window 0: log has %d rows, want 2", log.Len())
+	}
+	// The next window's fractions are measured over its own arrivals.
+	r.StartWindow(DeltaDataset{"lineitem": stream[2:]})
+	if log.Len() != 2 {
+		t.Errorf("StartWindow arrived data early: %d rows", log.Len())
+	}
+	r.ArriveWindow(1, 2)
+	if log.Len() != 3 {
+		t.Errorf("after 1/2 of window 1: log has %d rows, want 3", log.Len())
+	}
+	r.ArriveWindow(2, 2)
+	if log.Len() != 4 {
+		t.Errorf("after window 1: log has %d rows, want 4", log.Len())
+	}
+}
+
+func TestDebugSlowSubplanChargesFixedWork(t *testing.T) {
+	build := func() *Runner {
+		h := newHarness(t, map[string]string{
+			"q": "SELECT p_brand FROM part WHERE p_size > 10",
+		}, []string{"q"})
+		r, err := NewRunner(h.graph, Dataset{"part": partRows([3]interface{}{1, "A", 15})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ArriveWindow(1, 1)
+		return r
+	}
+
+	base := build().RunSubplan(0)
+
+	const penalty = 12345
+	DebugSlowSubplan = func(id int) int64 {
+		if id == 0 {
+			return penalty
+		}
+		return 0
+	}
+	defer func() { DebugSlowSubplan = nil }()
+	slow := build().RunSubplan(0)
+
+	if got := slow.Fixed - base.Fixed; got != penalty {
+		t.Errorf("penalty charged = %d, want %d", got, penalty)
+	}
+	if slow.Total()-base.Total() != penalty {
+		t.Errorf("penalty leaked into other work classes: base %v slow %v", base, slow)
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"ishare/internal/opt"
+	"ishare/internal/pace"
+)
+
+// TestOptWorkersReachesPaceSearch is the regression test for the Workers
+// knob plumbing chain: experiments.Config.OptWorkers → Workload →
+// opt.Request → (decompose.Options for IShare) → pace.Optimizer. Every pace
+// search triggered by planning must see exactly the configured worker
+// count. The uniform-pace baselines never run the search, so the test
+// exercises the two approaches that do.
+func TestOptWorkersReachesPaceSearch(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.OptWorkers = 3
+	w, err := NewWorkload(cfg, []string{"Q1", "Q6"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var observed []int
+	pace.DebugObserveSearch = func(o *pace.Optimizer) {
+		mu.Lock()
+		observed = append(observed, o.Workers)
+		mu.Unlock()
+	}
+	defer func() { pace.DebugObserveSearch = nil }()
+
+	rel := UniformRel(len(w.Queries), 0.5)
+	if _, err := w.RunApproaches(rel, cfg.MaxPace, []opt.Approach{opt.NoShareNonuniform, opt.IShare}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(observed) == 0 {
+		t.Fatal("no pace search ran — the observation seam is dead")
+	}
+	for i, got := range observed {
+		if got != 3 {
+			t.Errorf("pace search %d saw Workers = %d, want 3", i, got)
+		}
+	}
+}

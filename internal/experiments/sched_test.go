@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ishare/internal/metrics"
+)
+
+// TestSchedulerLatency runs the scheduler-backed latency experiment on a
+// tiny scale factor and checks its accounting invariants: one row per
+// approach, every (query, window) deadline resolved exactly once, and the
+// shared metrics registry populated for the -serve-metrics endpoint.
+func TestSchedulerLatency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r, err := SchedulerLatency(tinyCfg(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(DefaultApproaches) {
+		t.Fatalf("%d rows, want %d", len(r.Rows), len(DefaultApproaches))
+	}
+	want := r.Windows * len(r.Names)
+	for _, row := range r.Rows {
+		if row.Met+row.Missed != want {
+			t.Errorf("%s: met %d + missed %d != %d windows × %d queries",
+				row.Approach, row.Met, row.Missed, r.Windows, len(r.Names))
+		}
+		if row.TotalWork <= 0 {
+			t.Errorf("%s: no work recorded", row.Approach)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["sched.windows"] == 0 {
+		t.Error("shared registry saw no windows")
+	}
+	if snap.Counters["sched.executions"] == 0 {
+		t.Error("shared registry saw no executions")
+	}
+
+	var buf bytes.Buffer
+	r.Report(&buf)
+	for _, wantStr := range []string{"approach", "ishare", "met"} {
+		if !strings.Contains(strings.ToLower(buf.String()), wantStr) {
+			t.Errorf("report missing %q:\n%s", wantStr, buf.String())
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package metrics is the engine's lightweight instrumentation layer: named
+// monotonic counters and fixed-bucket histograms collected into a Registry.
+// Snapshots are deterministic — given the same observation sequence, two
+// snapshots marshal to byte-identical JSON (encoding/json sorts map keys) —
+// which is what lets the scheduler's virtual-clock tests compare whole
+// metric dumps for equality. Handler serves a snapshot as JSON for
+// cmd/ishare -serve-metrics.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is an add-only int64 metric, safe for concurrent use.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { atomic.AddInt64(&c.v, d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Histogram counts observations into fixed upper-bound buckets and keeps
+// count, sum, min and max. Observations above the last bound land in an
+// overflow bucket, so no +Inf ever reaches the JSON encoding.
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []float64 // ascending upper bounds (observation v counts in the first bound ≥ v)
+	counts   []int64   // len(bounds)
+	overflow int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// Registry is a named collection of counters and histograms.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (ascending) on first use; later calls reuse the existing
+// histogram and ignore the bounds.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]int64, len(bounds))}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations at
+// or below the upper bound (and above the previous bound).
+type Bucket struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Min      float64  `json:"min"`
+	Max      float64  `json:"max"`
+	Buckets  []Bucket `json:"buckets"`
+	Overflow int64    `json:"overflow"`
+}
+
+// Snapshot is a point-in-time copy of a registry. Marshaling a snapshot to
+// JSON is deterministic: map keys are sorted by encoding/json.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hs := HistogramSnapshot{
+			Count:    h.count,
+			Sum:      h.sum,
+			Min:      h.min,
+			Max:      h.max,
+			Buckets:  make([]Bucket, len(h.bounds)),
+			Overflow: h.overflow,
+		}
+		for i, b := range h.bounds {
+			hs.Buckets[i] = Bucket{LE: b, N: h.counts[i]}
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w http.ResponseWriter) error {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// JSON renders the snapshot as indented JSON bytes (the form the
+// determinism tests compare byte-for-byte).
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Handler serves the registry as JSON: GET / or /metrics returns a fresh
+// snapshot. Any other method gets 405.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Path != "/" && req.URL.Path != "/metrics" {
+			http.NotFound(w, req)
+			return
+		}
+		if err := r.Snapshot().WriteJSON(w); err != nil {
+			// The body may be partially written; nothing useful to do
+			// beyond logging via the error text.
+			fmt.Println("metrics: write snapshot:", err)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("b").Value() != 0 {
+		t.Errorf("fresh counter not zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 2, 50, 1000, -3} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Min != -3 || s.Max != 1000 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	wantN := []int64{3, 1, 1} // ≤1: {0.5, 1, -3}; ≤10: {2}; ≤100: {50}
+	for i, b := range s.Buckets {
+		if b.N != wantN[i] {
+			t.Errorf("bucket %d (le %v) = %d, want %d", i, b.LE, b.N, wantN[i])
+		}
+	}
+	if s.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1", s.Overflow)
+	}
+	if s.Sum != 0.5+1+2+50+1000-3 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Insert in different orders; the snapshot JSON must not care.
+		names := []string{"z", "a", "m"}
+		for _, n := range names {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		r.Histogram("h2", 1, 2).Observe(1.5)
+		r.Histogram("h1", 5).Observe(3)
+		return r.Snapshot()
+	}
+	a, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("snapshots differ:\n%s\n----\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"counters"`) {
+		t.Errorf("snapshot JSON missing counters: %s", a)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h", 1, 10).Observe(float64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := r.Snapshot().Histograms["h"].Count; got != 800 {
+		t.Errorf("histogram count = %d, want 800", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sched.windows").Add(3)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), `"sched.windows": 3`) {
+		t.Errorf("body missing counter: %s", buf[:n])
+	}
+
+	if resp, err := srv.Client().Get(srv.URL + "/nope"); err == nil {
+		if resp.StatusCode != 404 {
+			t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkMetricsSnapshot measures a snapshot of a registry shaped like the
+// scheduler's: a few dozen counters and a handful of histograms.
+func BenchmarkMetricsSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 32; i++ {
+		r.Counter(fmt.Sprintf("sched.counter.%d", i)).Add(int64(i))
+	}
+	for i := 0; i < 8; i++ {
+		h := r.Histogram(fmt.Sprintf("sched.hist.%d", i), 1, 5, 10, 50, 100, 500, 1000)
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j * i))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Snapshot()
+		if len(s.Counters) != 32 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -56,6 +56,31 @@ func TestDifferential(t *testing.T) {
 	}
 }
 
+// TestSchedulerInvariance focuses the differential harness on the
+// scheduler runtime alone: ≥100 seeded workloads driven through
+// internal/sched on a virtual clock — random pace vectors, window splits,
+// worker counts, and zero deadlines so the degradation policy rewrites
+// paces mid-run — must all reach the oracle's trigger-point results.
+func TestSchedulerInvariance(t *testing.T) {
+	workloads := 100
+	if !testing.Short() {
+		workloads = 300
+	}
+	opts := oracle.CheckOptions{
+		PaceVectors: 0, Workers: []int{1, 4}, Scheduler: true,
+	}
+	for seed := int64(0); seed < int64(workloads); seed++ {
+		w := oracle.Generate(seed*31+7, oracle.DefaultOptions())
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nSQL: %v", w.Seed, err, w.SQL)
+		}
+		if m != nil {
+			reportMismatch(t, w, m, opts)
+		}
+	}
+}
+
 // TestDifferentialMinMax hammers the paper's hard case: MIN/MAX under
 // deletion-heavy streams, where retracting the extremum forces a rescan.
 func TestDifferentialMinMax(t *testing.T) {

@@ -3,9 +3,11 @@ package oracle
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ishare/internal/exec"
 	"ishare/internal/mqo"
+	"ishare/internal/sched"
 )
 
 // CheckOptions configures the differential harness.
@@ -20,15 +22,22 @@ type CheckOptions struct {
 	// Decompose also runs a fully unshared build, a random query
 	// partition, and an aggregate-cut extraction.
 	Decompose bool
+	// Scheduler also drives the shared plan through the wall-clock
+	// scheduler runtime (internal/sched) on a virtual clock with a random
+	// pace vector, window split and worker count — including zero
+	// deadlines, so every window overloads and the degradation policy
+	// rewrites paces mid-run — and requires the trigger-point results to
+	// still match the oracle.
+	Scheduler bool
 	// Rand drives pace/partition choices; nil derives one from the
 	// workload seed so checks are reproducible.
 	Rand *rand.Rand
 }
 
 // DefaultCheckOptions matches the acceptance bar: ≥3 random pace vectors, a
-// decomposed variant and Workers 1 and 4.
+// decomposed variant, Workers 1 and 4, and a scheduler-runtime pass.
 func DefaultCheckOptions() CheckOptions {
-	return CheckOptions{PaceVectors: 3, MaxPace: 6, Workers: []int{1, 4}, Decompose: true}
+	return CheckOptions{PaceVectors: 3, MaxPace: 6, Workers: []int{1, 4}, Decompose: true, Scheduler: true}
 }
 
 // Mismatch describes one divergence between the engine and the oracle.
@@ -138,6 +147,37 @@ func Check(w *Workload, opts CheckOptions) (*Mismatch, error) {
 		config := fmt.Sprintf("shared/workers=%d/paces=%v", workers, paces)
 		if m, err := run(config, shared, paces, workers); m != nil || err != nil {
 			return m, err
+		}
+	}
+	// Scheduler-invariance: the wall-clock runtime — windowed ingestion,
+	// virtual-clock pacing and mid-run pace degradation — must reach the
+	// same trigger-point results as a plain batch run.
+	if opts.Scheduler {
+		paces := randPaces(shared)
+		windows := 1 + r.Intn(2)
+		workers := opts.Workers[r.Intn(len(opts.Workers))]
+		config := fmt.Sprintf("sched/windows=%d/workers=%d/paces=%v", windows, workers, paces)
+		s, err := sched.New(shared, paces, sched.Slices{Data: data, N: windows}, sched.Config{
+			Window:  time.Second,
+			Windows: windows,
+			Clock:   sched.NewVirtualClock(time.Unix(0, 0)),
+			// A modest rate plus zero deadlines guarantees misses, so the
+			// degradation policy runs and is covered by the comparison.
+			WorkRate:  50_000,
+			Deadlines: make([]time.Duration, len(queries)),
+			Workers:   workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s: %w", config, err)
+		}
+		if _, err := s.Run(); err != nil {
+			return nil, fmt.Errorf("oracle: %s: %w", config, err)
+		}
+		for q := range queries {
+			got := Canon(s.Results(q))
+			if !eqStrings(got, want[q]) {
+				return &Mismatch{Config: config, Query: q, SQL: w.SQL[q], Got: got, Want: want[q]}, nil
+			}
 		}
 	}
 	if !opts.Decompose {

@@ -23,6 +23,14 @@ import (
 // no-memoization baseline in Figure 15).
 var ErrDeadline = errors.New("pace: optimization deadline exceeded")
 
+// DebugObserveSearch, when non-nil, is invoked with the fully configured
+// optimizer at the start of every Greedy and ReverseGreedy search. It is a
+// test seam (mirroring exec's Debug* fault hooks) for the regression tests
+// that prove knobs like Workers survive the CLI → ishare.Options →
+// experiments.Config → opt.Request → decompose.Options → pace.Optimizer
+// plumbing chain; production code must never set it.
+var DebugObserveSearch func(*Optimizer)
+
 // Optimizer searches pace configurations against a cost model.
 //
 // Each greedy step's candidate evaluations are mutually independent, so the
@@ -197,6 +205,9 @@ func (o *Optimizer) parentMax(i int, p []int) int {
 // incrementability until every constraint is met, every pace reaches
 // MaxPace, or no single increment yields any benefit.
 func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
+	if DebugObserveSearch != nil {
+		DebugObserveSearch(o)
+	}
 	n := len(o.Model.Graph.Subplans)
 	p := make([]int, n)
 	for i := range p {
@@ -332,6 +343,9 @@ func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64
 // eagerness buys the least — as long as no query's bounded final work gets
 // worse (paper §4.2). It is used to re-find paces after decomposition.
 func (o *Optimizer) ReverseGreedy(start []int) ([]int, cost.Eval, error) {
+	if DebugObserveSearch != nil {
+		DebugObserveSearch(o)
+	}
 	n := len(o.Model.Graph.Subplans)
 	p := append([]int(nil), start...)
 	cur, err := o.eval(p)

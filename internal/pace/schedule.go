@@ -1,0 +1,67 @@
+package pace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Firing is one scheduled incremental execution inside a trigger window: the
+// Index-th of Pace executions of a subplan, due when Index/Pace of the
+// window has elapsed (and Index/Pace of the window's data has arrived).
+type Firing struct {
+	// Subplan is the subplan id to execute.
+	Subplan int
+	// Index and Pace: this is the Index-th of Pace executions (1-based).
+	Index, Pace int
+	// Offset is the due time after the window start.
+	Offset time.Duration
+}
+
+// Final reports whether this is the subplan's trigger-point execution (the
+// one whose work is the query-latency proxy).
+func (f Firing) Final() bool { return f.Index == f.Pace }
+
+// SameFraction reports whether two firings are due at the same arrival
+// fraction (exact rational comparison, so pace 2's halfway firing coincides
+// with pace 4's second).
+func SameFraction(a, b Firing) bool { return a.Index*b.Pace == b.Index*a.Pace }
+
+// ScheduleWindow translates a pace vector into one trigger window's firing
+// sequence: subplan i with pace p fires p times, at offsets j/p of the
+// window, ordered by due fraction and by subplan id within a fraction —
+// children first, matching exec.Run's sequential event order. The final
+// firing of every subplan lands exactly at the window end (the trigger
+// point), so a scheduler that drives the sequence to completion always
+// consumes the whole window's data.
+func ScheduleWindow(paces []int, window time.Duration) ([]Firing, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("pace: window %v is not positive", window)
+	}
+	n := 0
+	for i, p := range paces {
+		if p < 1 {
+			return nil, fmt.Errorf("pace: subplan %d has pace %d < 1", i, p)
+		}
+		n += p
+	}
+	fs := make([]Firing, 0, n)
+	for i, p := range paces {
+		for j := 1; j <= p; j++ {
+			fs = append(fs, Firing{
+				Subplan: i,
+				Index:   j,
+				Pace:    p,
+				Offset:  time.Duration(int64(window) * int64(j) / int64(p)),
+			})
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool {
+		l, r := fs[a].Index*fs[b].Pace, fs[b].Index*fs[a].Pace
+		if l != r {
+			return l < r
+		}
+		return fs[a].Subplan < fs[b].Subplan
+	})
+	return fs, nil
+}

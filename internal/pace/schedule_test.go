@@ -1,0 +1,64 @@
+package pace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleWindowOrderAndOffsets(t *testing.T) {
+	fs, err := ScheduleWindow([]int{2, 4, 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 7 {
+		t.Fatalf("%d firings, want 7", len(fs))
+	}
+	// Due fractions: sub1 at 1/4, {sub0, sub1} at 1/2, sub1 at 3/4, and
+	// {sub0, sub1, sub2} at 1 — subplan id breaks ties within a fraction.
+	wantSub := []int{1, 0, 1, 1, 0, 1, 2}
+	wantOff := []time.Duration{
+		250 * time.Millisecond, 500 * time.Millisecond, 500 * time.Millisecond,
+		750 * time.Millisecond, time.Second, time.Second, time.Second,
+	}
+	for i, f := range fs {
+		if f.Subplan != wantSub[i] || f.Offset != wantOff[i] {
+			t.Errorf("firing %d = sub %d @ %v, want sub %d @ %v",
+				i, f.Subplan, f.Offset, wantSub[i], wantOff[i])
+		}
+	}
+	if !fs[6].Final() || fs[2].Final() {
+		t.Errorf("Final flags wrong: %+v", fs)
+	}
+	if !SameFraction(fs[1], fs[2]) || SameFraction(fs[0], fs[1]) {
+		t.Errorf("SameFraction wrong around the 1/2 group")
+	}
+}
+
+func TestScheduleWindowEveryFinalAtWindowEnd(t *testing.T) {
+	const window = 3 * time.Second
+	fs, err := ScheduleWindow([]int{3, 7, 5, 1}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := map[int]bool{}
+	for _, f := range fs {
+		if f.Final() {
+			if f.Offset != window {
+				t.Errorf("final firing of subplan %d at %v, want %v", f.Subplan, f.Offset, window)
+			}
+			finals[f.Subplan] = true
+		}
+	}
+	if len(finals) != 4 {
+		t.Errorf("finals for %d subplans, want 4", len(finals))
+	}
+}
+
+func TestScheduleWindowRejectsBadInput(t *testing.T) {
+	if _, err := ScheduleWindow([]int{1}, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := ScheduleWindow([]int{0}, time.Second); err == nil {
+		t.Error("pace 0 accepted")
+	}
+}

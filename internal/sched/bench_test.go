@@ -1,0 +1,67 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"ishare/internal/exec"
+	"ishare/internal/sched"
+)
+
+// firstWindowOnly feeds the dataset in window 0 and nothing afterwards, so
+// operator state stops growing and every later tick costs the same: the
+// benchmark measures steady-state scheduler overhead, not engine ingestion.
+type firstWindowOnly struct {
+	data exec.DeltaDataset
+}
+
+func (s firstWindowOnly) WindowData(i int) exec.DeltaDataset {
+	if i == 0 {
+		return s.data
+	}
+	return exec.DeltaDataset{}
+}
+
+// BenchmarkSchedulerTick measures one firing-group step of the scheduler
+// hot path (arrival, execution, clock accounting, metrics) on the virtual
+// clock. Run with -benchmem; numbers are recorded in CHANGES.md.
+func BenchmarkSchedulerTick(b *testing.B) {
+	tp := buildPlan(b, 7)
+	paces := make([]int, len(tp.graph.Subplans))
+	for i := range paces {
+		paces[i] = 4
+	}
+	deadlines := make([]time.Duration, tp.graph.Plan.NumQueries())
+	for i := range deadlines {
+		deadlines[i] = 100 * time.Millisecond
+	}
+	newSched := func() *sched.Scheduler {
+		s, err := sched.New(tp.graph, paces, firstWindowOnly{data: tp.data}, sched.Config{
+			Window:    time.Second,
+			Windows:   1 << 30, // never exhausted within one benchmark run
+			Clock:     sched.NewVirtualClock(time.Unix(0, 0)),
+			WorkRate:  1_000_000,
+			Deadlines: deadlines,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+
+	b.ReportAllocs()
+	b.StopTimer()
+	s := newSched()
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		more, err := s.Tick()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !more {
+			b.StopTimer()
+			s = newSched()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the scheduler's notion of time so every scheduling
+// decision is testable without sleeping: production runs on RealClock (the
+// runtime's monotonic clock), tests on VirtualClock, which jumps instantly
+// to whatever instant is waited for.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// WaitUntil blocks until the clock reaches t; it returns immediately
+	// when t is already past.
+	WaitUntil(t time.Time)
+}
+
+// RealClock is the production clock.
+type RealClock struct{}
+
+// Now returns time.Now.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// WaitUntil sleeps until t.
+func (RealClock) WaitUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// VirtualClock is a deterministic test clock: Now returns a virtual instant
+// that only moves when WaitUntil pushes it forward, so a multi-window
+// schedule runs in microseconds of real time and every run of the same
+// schedule reads identical timestamps.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// WaitUntil jumps the virtual clock forward to t (never backward).
+func (c *VirtualClock) WaitUntil(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}

@@ -1,0 +1,460 @@
+// Package sched is the wall-clock scheduler runtime: it takes an optimized
+// shared plan (a subplan graph plus a pace vector) and actually drives the
+// incremental executions against trigger windows — the layer the paper's
+// optimizer assumes but its prototype delegates to Spark job scheduling.
+//
+// Each trigger window spans a fixed clock duration. A subplan with pace p
+// fires p times per window, the j-th firing due when j/p of the window has
+// elapsed and j/p of the window's data has arrived; the final firing of
+// every subplan lands exactly at the trigger point (window end). The
+// scheduler tracks, per query and window, the deadline slack: the query's
+// latency goal minus the time its final executions actually completed after
+// the trigger point. Execution cost is charged against an injectable Clock —
+// the real monotonic clock in production, a deterministic VirtualClock in
+// tests — with Config.WorkRate translating the engine's work units into
+// clock time, so overload (eager paces whose executions outrun the window)
+// is observable and reproducible.
+//
+// When a window overloads (a missed deadline, or firings starting later than
+// Config.LagThreshold after their due times), the degradation policy
+// coarsens paces toward batch: it halves the pace of the subplan whose
+// eager (pre-trigger) executions consumed the most window time — the
+// highest spend per unit of slack bought, since under overload it is the
+// per-execution fixed costs of eagerness that starve the trigger-point
+// executions — and clamps the subplan's ancestors so no parent out-paces a
+// child. Every decision is recorded in the Result and in the metrics
+// registry.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ishare/internal/exec"
+	"ishare/internal/metrics"
+	"ishare/internal/mqo"
+	"ishare/internal/pace"
+	"ishare/internal/value"
+)
+
+// Config parameterizes a scheduler run.
+type Config struct {
+	// Window is the trigger window length (required, positive).
+	Window time.Duration
+	// Windows is how many consecutive windows to drive (required, ≥ 1).
+	Windows int
+	// Clock injects the time source; nil selects RealClock.
+	Clock Clock
+	// WorkRate models execution speed as work units per clock second:
+	// an incremental execution reporting work w occupies w/WorkRate of
+	// clock time. On a VirtualClock this is what makes executions take
+	// time at all; on a RealClock the modeled duration is slept off, so
+	// a simulation driven on real time behaves identically. 0 disables
+	// modeled charging (only measured clock time counts).
+	WorkRate float64
+	// Deadlines is each query's latency goal: the clock duration after
+	// the trigger point by which the query's final executions must have
+	// completed. Length must equal the graph's query count.
+	Deadlines []time.Duration
+	// Workers bounds concurrent subplan execution within a dependency
+	// wave of firings due at the same instant: 1 (and the zero value) is
+	// fully sequential, 0 < n fans out on up to n goroutines, and -1
+	// selects GOMAXPROCS. Schedules, work accounting and metrics are
+	// byte-identical at any setting — clock time is charged in canonical
+	// sequential order — only real wall time changes.
+	Workers int
+	// DisableDegradation turns the overload policy off: paces then stay
+	// fixed for the whole run no matter how many deadlines miss.
+	DisableDegradation bool
+	// LagThreshold is the start-lag beyond which a window counts as
+	// overloaded even when every deadline was met; 0 defaults to
+	// Window/10.
+	LagThreshold time.Duration
+	// Metrics receives the scheduler's counters and histograms; nil
+	// allocates a private registry, readable via Scheduler.Snapshot.
+	Metrics *metrics.Registry
+	// Trace records every firing into Result.Trace — the byte-level
+	// schedule the determinism tests compare.
+	Trace bool
+}
+
+// FiringRecord traces one incremental execution (recorded when Config.Trace
+// is set). All offsets are measured from the run epoch (the clock's instant
+// when the scheduler was created).
+type FiringRecord struct {
+	Window  int           `json:"window"`
+	Subplan int           `json:"subplan"`
+	Index   int           `json:"index"`
+	Pace    int           `json:"pace"`
+	Due     time.Duration `json:"due"`
+	Start   time.Duration `json:"start"`
+	Finish  time.Duration `json:"finish"`
+	Work    int64         `json:"work"`
+}
+
+// WindowStats summarizes one trigger window.
+type WindowStats struct {
+	Window int `json:"window"`
+	// Paces is the pace vector in force during the window.
+	Paces []int `json:"paces"`
+	// Executions and Work count the window's incremental executions and
+	// their summed work units.
+	Executions int   `json:"executions"`
+	Work       int64 `json:"work"`
+	// MaxLag is the worst start-lag of any firing in the window.
+	MaxLag time.Duration `json:"max_lag"`
+	// QuerySlack is each query's deadline slack: goal minus actual
+	// completion relative to the trigger point. Negative means missed.
+	QuerySlack []time.Duration `json:"query_slack"`
+	// Met and Missed count queries by deadline outcome.
+	Met    int `json:"met"`
+	Missed int `json:"missed"`
+	// Overloaded marks windows that triggered the degradation check.
+	Overloaded bool `json:"overloaded"`
+	// Degraded is the degradation decision taken after this window, if
+	// any.
+	Degraded *Decision `json:"degraded,omitempty"`
+}
+
+// Result summarizes a whole scheduler run.
+type Result struct {
+	Windows    []WindowStats   `json:"windows"`
+	Decisions  []Decision      `json:"decisions"`
+	FinalPaces []int           `json:"final_paces"`
+	TotalWork  int64           `json:"total_work"`
+	Met        int             `json:"met"`
+	Missed     int             `json:"missed"`
+	Trace      []FiringRecord  `json:"trace,omitempty"`
+}
+
+// Scheduler drives one plan's incremental executions against the clock. Use
+// New, then either Run for the whole configured horizon or Tick to step one
+// firing group at a time.
+type Scheduler struct {
+	cfg    Config
+	graph  *mqo.Graph
+	runner *exec.Runner
+	src    Source
+	clock  Clock
+	reg    *metrics.Registry
+	paces  []int
+	depth  []int // subplan depth: children strictly below parents
+
+	epoch    time.Time
+	window   int
+	firings  []pace.Firing
+	pos      int
+	winStart time.Time
+	finish   []time.Time     // per-subplan completion instant, this window
+	spent    []time.Duration // per-subplan pre-trigger execution time, this window
+	maxLag   time.Duration
+	winWork  int64
+	winExecs int
+
+	res  Result
+	done bool
+}
+
+// New builds a scheduler over the graph with the given starting pace vector
+// (one pace ≥ 1 per subplan, typically the optimizer's output) and window
+// data source.
+func New(g *mqo.Graph, paces []int, src Source, cfg Config) (*Scheduler, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("sched: window %v is not positive", cfg.Window)
+	}
+	if cfg.Windows < 1 {
+		return nil, fmt.Errorf("sched: %d windows", cfg.Windows)
+	}
+	if len(paces) != len(g.Subplans) {
+		return nil, fmt.Errorf("sched: %d paces for %d subplans", len(paces), len(g.Subplans))
+	}
+	for i, p := range paces {
+		if p < 1 {
+			return nil, fmt.Errorf("sched: subplan %d has pace %d < 1", i, p)
+		}
+	}
+	if len(cfg.Deadlines) != g.Plan.NumQueries() {
+		return nil, fmt.Errorf("sched: %d deadlines for %d queries", len(cfg.Deadlines), g.Plan.NumQueries())
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.LagThreshold == 0 {
+		cfg.LagThreshold = cfg.Window / 10
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sched: nil source")
+	}
+	runner, err := exec.NewDeltaRunner(g, exec.DeltaDataset{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		graph:  g,
+		runner: runner,
+		src:    src,
+		clock:  cfg.Clock,
+		reg:    cfg.Metrics,
+		paces:  append([]int(nil), paces...),
+		depth:  make([]int, len(g.Subplans)),
+		finish: make([]time.Time, len(g.Subplans)),
+		spent:  make([]time.Duration, len(g.Subplans)),
+	}
+	for _, sub := range g.Subplans { // children-first order
+		d := 0
+		for _, c := range sub.Children {
+			if s.depth[c.ID]+1 > d {
+				d = s.depth[c.ID] + 1
+			}
+		}
+		s.depth[sub.ID] = d
+	}
+	s.epoch = s.clock.Now()
+	return s, nil
+}
+
+// Run drives the configured number of windows to completion.
+func (s *Scheduler) Run() (*Result, error) {
+	for {
+		more, err := s.Tick()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			return s.Result(), nil
+		}
+	}
+}
+
+// Tick executes the next firing group (every firing due at the same
+// instant); when the group closes a window it also settles the window's
+// deadlines and applies the degradation policy. It reports whether any work
+// remains.
+func (s *Scheduler) Tick() (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	if s.firings == nil {
+		if err := s.openWindow(); err != nil {
+			return false, err
+		}
+	}
+	end := s.pos + 1
+	for end < len(s.firings) && pace.SameFraction(s.firings[s.pos], s.firings[end]) {
+		end++
+	}
+	s.runGroup(s.firings[s.pos:end])
+	s.pos = end
+	if s.pos >= len(s.firings) {
+		s.closeWindow()
+		s.firings, s.pos = nil, 0
+		s.window++
+		if s.window >= s.cfg.Windows {
+			s.res.FinalPaces = append([]int(nil), s.paces...)
+			s.done = true
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Result returns the run summary accumulated so far (complete after Run, or
+// after Tick reports no more work).
+func (s *Scheduler) Result() *Result { return &s.res }
+
+// Results returns query q's materialized result rows at the current point
+// of the run.
+func (s *Scheduler) Results(q int) []value.Row { return s.runner.Results(q) }
+
+// Snapshot returns the scheduler's metrics registry snapshot.
+func (s *Scheduler) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
+
+// Paces returns the pace vector currently in force (degradation may have
+// coarsened the starting vector).
+func (s *Scheduler) Paces() []int { return append([]int(nil), s.paces...) }
+
+func (s *Scheduler) openWindow() error {
+	fs, err := pace.ScheduleWindow(s.paces, s.cfg.Window)
+	if err != nil {
+		return err
+	}
+	s.firings = fs
+	s.pos = 0
+	s.winStart = s.epoch.Add(time.Duration(s.window) * s.cfg.Window)
+	s.runner.StartWindow(s.src.WindowData(s.window))
+	winEnd := s.winStart.Add(s.cfg.Window)
+	for i := range s.finish {
+		// A subplan that somehow never fires completes at the trigger
+		// point; every pace ≥ 1 fires at least once, overwriting this.
+		s.finish[i] = winEnd
+		s.spent[i] = 0
+	}
+	s.maxLag = 0
+	s.winWork = 0
+	s.winExecs = 0
+	return nil
+}
+
+// runGroup executes every firing due at one instant. The subplans are run
+// in dependency waves (children strictly before parents) with up to
+// cfg.Workers goroutines per wave, but clock time is charged in canonical
+// order — firing order within the group — so schedules and metrics are
+// identical at any worker count.
+func (s *Scheduler) runGroup(group []pace.Firing) {
+	due := s.winStart.Add(group[0].Offset)
+	s.clock.WaitUntil(due)
+	groupStart := s.clock.Now()
+	if lag := groupStart.Sub(due); lag > s.maxLag {
+		s.maxLag = lag
+	}
+	s.runner.ArriveWindow(group[0].Index, group[0].Pace)
+
+	works := s.execute(group)
+
+	lagHist := s.reg.Histogram("sched.exec_lag_ms", 1, 5, 10, 50, 100, 500, 1000, 5000)
+	execs := s.reg.Counter("sched.executions")
+	workCtr := s.reg.Counter("sched.work_total")
+	t := groupStart
+	for i, f := range group {
+		d := s.workDuration(works[i])
+		start := t
+		t = t.Add(d)
+		s.finish[f.Subplan] = t
+		if !f.Final() {
+			s.spent[f.Subplan] += d
+		}
+		w := works[i].Total()
+		s.winWork += w
+		s.winExecs++
+		s.res.TotalWork += w
+		execs.Inc()
+		workCtr.Add(w)
+		lagHist.Observe(float64(start.Sub(due)) / float64(time.Millisecond))
+		if s.cfg.Trace {
+			s.res.Trace = append(s.res.Trace, FiringRecord{
+				Window:  s.window,
+				Subplan: f.Subplan,
+				Index:   f.Index,
+				Pace:    f.Pace,
+				Due:     due.Sub(s.epoch),
+				Start:   start.Sub(s.epoch),
+				Finish:  t.Sub(s.epoch),
+				Work:    w,
+			})
+		}
+	}
+	s.clock.WaitUntil(t)
+	if s.cfg.WorkRate <= 0 {
+		// Pure measured mode: completion is whatever the clock says after
+		// the group actually ran.
+		now := s.clock.Now()
+		for _, f := range group {
+			s.finish[f.Subplan] = now
+		}
+	}
+}
+
+// execute runs the group's subplans and returns their works, positionally
+// aligned with the group. Same-instant subplans at the same dependency
+// depth never feed each other, so each depth wave may fan out safely.
+func (s *Scheduler) execute(group []pace.Firing) []exec.Work {
+	works := make([]exec.Work, len(group))
+	workers := s.cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(group) == 1 {
+		for i, f := range group {
+			works[i] = s.runner.RunSubplan(f.Subplan)
+		}
+		return works
+	}
+	byDepth := map[int][]int{} // depth → group indexes
+	var depths []int
+	for i, f := range group {
+		d := s.depth[f.Subplan]
+		if len(byDepth[d]) == 0 {
+			depths = append(depths, d)
+		}
+		byDepth[d] = append(byDepth[d], i)
+	}
+	sort.Ints(depths)
+	sem := make(chan struct{}, workers)
+	for _, d := range depths {
+		var wg sync.WaitGroup
+		for _, i := range byDepth[d] {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				works[i] = s.runner.RunSubplan(group[i].Subplan)
+			}(i)
+		}
+		wg.Wait()
+	}
+	return works
+}
+
+func (s *Scheduler) workDuration(w exec.Work) time.Duration {
+	if s.cfg.WorkRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(w.Total()) / s.cfg.WorkRate * float64(time.Second))
+}
+
+func (s *Scheduler) closeWindow() {
+	winEnd := s.winStart.Add(s.cfg.Window)
+	ws := WindowStats{
+		Window:     s.window,
+		Paces:      append([]int(nil), s.paces...),
+		Executions: s.winExecs,
+		Work:       s.winWork,
+		MaxLag:     s.maxLag,
+	}
+	nq := s.graph.Plan.NumQueries()
+	ws.QuerySlack = make([]time.Duration, nq)
+	slackHist := s.reg.Histogram("sched.query_slack_ms", -5000, -1000, -100, -10, 0, 10, 100, 1000, 5000)
+	for q := 0; q < nq; q++ {
+		completion := winEnd
+		for _, sub := range s.graph.QuerySubplans(q) {
+			if s.finish[sub.ID].After(completion) {
+				completion = s.finish[sub.ID]
+			}
+		}
+		slack := winEnd.Add(s.cfg.Deadlines[q]).Sub(completion)
+		ws.QuerySlack[q] = slack
+		if slack >= 0 {
+			ws.Met++
+		} else {
+			ws.Missed++
+		}
+		slackHist.Observe(float64(slack) / float64(time.Millisecond))
+	}
+	s.res.Met += ws.Met
+	s.res.Missed += ws.Missed
+	s.reg.Counter("sched.windows").Inc()
+	s.reg.Counter("sched.deadline_met").Add(int64(ws.Met))
+	s.reg.Counter("sched.deadline_missed").Add(int64(ws.Missed))
+	ws.Overloaded = ws.Missed > 0 || s.maxLag > s.cfg.LagThreshold
+	if ws.Overloaded {
+		s.reg.Counter("sched.overloaded_windows").Inc()
+		if !s.cfg.DisableDegradation {
+			if d := s.degrade(ws.QuerySlack); d != nil {
+				d.Window = s.window
+				ws.Degraded = d
+				s.res.Decisions = append(s.res.Decisions, *d)
+				s.reg.Counter("sched.degrade_total").Inc()
+				s.reg.Counter(fmt.Sprintf("sched.degrade.subplan.%d", d.Subplan)).Inc()
+			}
+		}
+	}
+	s.res.Windows = append(s.res.Windows, ws)
+}

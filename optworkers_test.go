@@ -1,0 +1,39 @@
+package ishare
+
+import (
+	"sync"
+	"testing"
+
+	"ishare/internal/pace"
+)
+
+// TestOptionsOptWorkersReachesPaceSearch pins the public-API end of the
+// Workers plumbing chain: ishare.Options.OptWorkers → opt.Request →
+// decompose.Options → pace.Optimizer.
+func TestOptionsOptWorkersReachesPaceSearch(t *testing.T) {
+	e := ordersEngine(t)
+	e.MustAddQuery("all", "SELECT o_customer, SUM(o_amount) FROM orders GROUP BY o_customer", 0.5)
+	e.MustAddQuery("urgent", "SELECT o_customer, SUM(o_amount) FROM orders WHERE o_priority = 1 GROUP BY o_customer", 0.2)
+
+	var mu sync.Mutex
+	var observed []int
+	pace.DebugObserveSearch = func(o *pace.Optimizer) {
+		mu.Lock()
+		observed = append(observed, o.Workers)
+		mu.Unlock()
+	}
+	defer func() { pace.DebugObserveSearch = nil }()
+
+	if _, err := e.Optimize(Options{OptWorkers: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(observed) == 0 {
+		t.Fatal("Optimize ran no pace search — the observation seam is dead")
+	}
+	for i, got := range observed {
+		if got != 3 {
+			t.Errorf("pace search %d saw Workers = %d, want 3", i, got)
+		}
+	}
+}

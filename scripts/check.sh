@@ -2,11 +2,13 @@
 # check.sh — the repo's pre-merge gate: build, vet, the full test suite
 # under the race detector (the parallel pace search and the wave-parallel
 # executor must stay data-race-free), then a short fuzz smoke over the
-# native fuzz targets. Set SKIP_FUZZ=1 to stop after the race tests, and
-# FUZZTIME (default 10s) to change the per-target fuzz budget.
+# native fuzz targets and a scheduler soak. Set SKIP_FUZZ=1 to stop after
+# the race tests, FUZZTIME (default 10s) to change the per-target fuzz
+# budget, and SOAKTIME (default 10s) for the scheduler soak.
 set -eu
 
 FUZZTIME="${FUZZTIME:-10s}"
+SOAKTIME="${SOAKTIME:-10s}"
 
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,9 @@ echo "== go test -race ./..."
 go test -race ./...
 
 if [ "${SKIP_FUZZ:-}" != "1" ]; then
+	echo "== scheduler soak ($SOAKTIME, race)"
+	go test ./internal/sched -race -run TestSchedulerSoak -soaktime "$SOAKTIME"
+
 	echo "== fuzz smoke ($FUZZTIME per target)"
 	go test ./internal/oracle -run '^$' -fuzz FuzzEngineVsOracle -fuzztime "$FUZZTIME"
 	go test ./internal/sqlparser -run '^$' -fuzz FuzzParserRoundTrip -fuzztime "$FUZZTIME"
