@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench check fuzz oracle soak
+.PHONY: build test race vet bench bench-json check fuzz oracle soak
 SOAKTIME ?= 30s
 
 build:
@@ -20,6 +20,15 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json runs the repo's benchmarks with allocation stats and renders
+# them as a machine-readable JSON report (name/iters/ns_op/bytes_op/
+# allocs_op per benchmark); CI uploads the file as an artifact so perf
+# regressions can be diffed across runs.
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_TIME ?= 1x
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 check:
 	./scripts/check.sh

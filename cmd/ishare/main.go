@@ -2,16 +2,27 @@
 //
 //	ishare -experiment fig9 -sf 0.05 -maxpace 40
 //	ishare -experiment sched -serve-metrics :8080
+//	ishare -experiment sched -trace out.json
+//	ishare -explain Q1,Q6,Q14 -rel 0.5
 //	ishare -experiment all
 //
 // Experiments: fig9, fig10, fig11, fig12, table1, fig13, table2, fig14,
 // table3, fig15, fig16, fig17a, fig17b, fig17c, sched, accuracy, all.
+//
+// -trace writes a Chrome trace-event JSON file (loadable in Perfetto or
+// chrome://tracing) covering the whole run: optimizer tracks (parse, build,
+// pace search, decomposition decisions) plus one track per subplan for every
+// scheduler job. -explain prints the optimizer's EXPLAIN report for the
+// named TPC-H queries instead of running an experiment. -debug-addr serves
+// net/http/pprof for live profiling; executor and search goroutines carry
+// pprof labels (phase, subplan) for tag filtering.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -19,7 +30,9 @@ import (
 	"ishare/internal/experiments"
 	"ishare/internal/metrics"
 	"ishare/internal/mqo"
+	"ishare/internal/opt"
 	"ishare/internal/tpch"
+	"ishare/internal/trace"
 )
 
 // options is the parsed command line.
@@ -28,6 +41,10 @@ type options struct {
 	Config       experiments.Config
 	DOT          string
 	ServeMetrics string
+	Trace        string
+	Explain      string
+	Rel          float64
+	DebugAddr    string
 }
 
 // parseArgs parses the command line (sans program name) into options; split
@@ -43,6 +60,10 @@ func parseArgs(args []string) (*options, error) {
 		budget       = fs.Duration("dnf", 30*time.Second, "optimization budget before DNF (fig15)")
 		dot          = fs.String("dot", "", "instead of an experiment, write the shared plan of the named queries (comma-separated, e.g. Q1,Q15) as Graphviz DOT to stdout")
 		serveMetrics = fs.String("serve-metrics", "", "serve scheduler metrics as JSON on this address (e.g. :8080) while and after running the experiment")
+		traceOut     = fs.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable) covering the run")
+		explain      = fs.String("explain", "", "instead of an experiment, print the optimizer's EXPLAIN report for the named queries (comma-separated, e.g. Q1,Q6,Q14)")
+		rel          = fs.Float64("rel", 0.5, "uniform relative final-work constraint for -explain")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -55,6 +76,10 @@ func parseArgs(args []string) (*options, error) {
 		},
 		DOT:          *dot,
 		ServeMetrics: *serveMetrics,
+		Trace:        *traceOut,
+		Explain:      *explain,
+		Rel:          *rel,
+		DebugAddr:    *debugAddr,
 	}, nil
 }
 
@@ -63,8 +88,33 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
+	if opts.DebugAddr != "" {
+		// net/http/pprof registered its handlers on DefaultServeMux at
+		// import time; serving nil exposes them.
+		go func() {
+			if err := http.ListenAndServe(opts.DebugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ishare: debug-addr:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ishare: serving pprof on %s/debug/pprof/\n", opts.DebugAddr)
+	}
+	if opts.Trace != "" {
+		opts.Config.Tracer = trace.New()
+	}
 	if opts.DOT != "" {
 		if err := writeDOT(opts.DOT, opts.Config); err != nil {
+			fmt.Fprintln(os.Stderr, "ishare:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if opts.Explain != "" {
+		names := strings.Split(opts.Explain, ",")
+		if err := experiments.ExplainQueries(opts.Config, names, opt.IShare, opts.Rel, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ishare:", err)
+			os.Exit(1)
+		}
+		if err := writeTrace(opts.Config.Tracer, opts.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, "ishare:", err)
 			os.Exit(1)
 		}
@@ -85,10 +135,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ishare:", err)
 		os.Exit(1)
 	}
+	if err := writeTrace(opts.Config.Tracer, opts.Trace); err != nil {
+		fmt.Fprintln(os.Stderr, "ishare:", err)
+		os.Exit(1)
+	}
 	if opts.ServeMetrics != "" {
 		fmt.Fprintf(os.Stderr, "ishare: experiment done; still serving metrics on %s (interrupt to exit)\n", opts.ServeMetrics)
 		select {}
 	}
+}
+
+// writeTrace exports the tracer as Chrome trace-event JSON; a no-op when
+// tracing was not requested.
+func writeTrace(tr *trace.Tracer, path string) error {
+	if tr == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ishare: wrote trace to %s\n", path)
+	return nil
 }
 
 // writeDOT binds the named queries, merges them, and dumps the subplan

@@ -1,0 +1,85 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// ishare -trace: the file must parse as the JSON-object trace format, and
+// every required category must have at least one event. CI's trace-smoke
+// step runs it over a fresh -experiment sched trace.
+//
+//	tracecheck [-cats parse,build,opt,sched] out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type event struct {
+	Ph   string `json:"ph"`
+	Cat  string `json:"cat"`
+	Name string `json:"name"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+type doc struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	cats := flag.String("cats", "parse,build,opt,sched,decision", "comma-separated categories that must each have at least one event")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-cats a,b,c] trace.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), strings.Split(*cats, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, required []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("%s does not parse as Chrome trace JSON: %w", path, err)
+	}
+	if len(d.TraceEvents) == 0 {
+		return fmt.Errorf("%s has no trace events", path)
+	}
+	byCat := map[string]int{}
+	for _, e := range d.TraceEvents {
+		if e.Cat != "" {
+			byCat[e.Cat]++
+		}
+	}
+	var missing []string
+	for _, c := range required {
+		if byCat[c] == 0 {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s missing events for categories %v (have %v)", path, missing, catCounts(byCat))
+	}
+	fmt.Printf("%s: %d events, %s\n", path, len(d.TraceEvents), catCounts(byCat))
+	return nil
+}
+
+func catCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"ishare/internal/mqo"
+	"ishare/internal/trace"
 )
 
 // Model evaluates pace configurations over a subplan graph. With memoization
@@ -26,6 +27,10 @@ type Model struct {
 	// UseMemo disables the memo table when false (the paper's
 	// simulate-from-scratch baseline in Figure 15).
 	UseMemo bool
+	// Trace optionally receives per-evaluation memo-traffic counters
+	// (cost.evals / cost.memo_lookups / cost.memo_hits / cost.sims); nil
+	// disables tracing at the cost of one pointer check per evaluation.
+	Trace *trace.Tracer
 
 	// Sims counts per-subplan simulations performed; Lookups and Hits
 	// count memo-table traffic. Experiments report these as optimization
@@ -194,6 +199,14 @@ func (m *Model) evaluateFull(paces []int) (Eval, []Profile, error) {
 	}
 	if sims != 0 {
 		atomic.AddInt64(&m.Sims, sims)
+	}
+	if m.Trace != nil {
+		// The same per-evaluation tallies feed the tracer — one attribution
+		// path, counter totals independent of concurrent evaluation order.
+		m.Trace.Count("cost.evals", 1)
+		m.Trace.Count("cost.memo_lookups", lookups)
+		m.Trace.Count("cost.memo_hits", hits)
+		m.Trace.Count("cost.sims", sims)
 	}
 	return ev, outputs, nil
 }

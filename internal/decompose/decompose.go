@@ -9,6 +9,7 @@ import (
 	"ishare/internal/mqo"
 	"ishare/internal/pace"
 	"ishare/internal/plan"
+	"ishare/internal/trace"
 )
 
 // Options tunes the decomposer.
@@ -37,6 +38,10 @@ type Options struct {
 	// previous recurrence (paper §3.2); base signatures survive rebuilds,
 	// so the factors apply to decomposed plans too.
 	Calibration cost.Calibration
+	// Tracer, when non-nil, receives build/search spans, memo counters and
+	// a structured decision log: one "propose" per clustering candidate and
+	// one "unshare" verdict per rebuild attempt.
+	Tracer *trace.Tracer
 }
 
 // Decomposer runs iShare's end-to-end optimization: MQO shared plan →
@@ -53,6 +58,23 @@ type Decomposer struct {
 	Rebuilds, Accepted int
 	// Evals counts cost evaluations across all optimizer phases.
 	Evals int64
+
+	splitStep int // decision-log sequence number on the split track
+}
+
+// decide appends one decomposition decision to the tracer's split track.
+func (d *Decomposer) decide(action string, subplan int, score float64, accepted bool, detail string) {
+	tr := d.Opts.Tracer
+	if tr == nil {
+		return
+	}
+	pid := tr.Process("optimizer")
+	tr.Thread(pid, 4, "split")
+	d.splitStep++
+	tr.Decide(pid, 4, trace.Decision{
+		Phase: "decompose", Step: d.splitStep, Subplan: subplan,
+		Action: action, Score: score, Accepted: accepted, Detail: detail,
+	})
 }
 
 // Result is an optimized shared plan with its pace configuration.
@@ -129,11 +151,17 @@ func (d *Decomposer) trySplit(res *Result, s *mqo.Subplan) error {
 	if err != nil {
 		return err
 	}
+	if len(cands) == 0 {
+		d.decide("keep", s.ID, 0, true, "no split with positive local sharing benefit")
+		return nil
+	}
 	for _, cand := range cands {
 		if len(cand.Parts) < 2 {
 			continue
 		}
-		if err := d.tryRebuild(res, cand); err != nil {
+		d.decide("propose", s.ID, cand.LocalGain, true,
+			fmt.Sprintf("%d-way split over %d ops, local gain %.1f", len(cand.Parts), len(cand.Ops), cand.LocalGain))
+		if err := d.tryRebuild(res, cand, s.ID); err != nil {
 			return err
 		}
 	}
@@ -316,7 +344,7 @@ func (d *Decomposer) localShares(res *Result, s *mqo.Subplan) (map[int]float64, 
 // tryRebuild rebuilds the plan with the candidate split added, derives the
 // initial pace configuration from the current one (paper §4.2 steps 1–2),
 // runs the reverse greedy, and adopts the result if it lowers total work.
-func (d *Decomposer) tryRebuild(res *Result, cand Candidate) error {
+func (d *Decomposer) tryRebuild(res *Result, cand Candidate, sid int) error {
 	d.Rebuilds++
 	splits := make(map[string][]mqo.Bitset, len(res.Splits)+len(cand.Ops))
 	for k, v := range res.Splits {
@@ -370,7 +398,10 @@ func (d *Decomposer) tryRebuild(res *Result, cand Candidate) error {
 		return err
 	}
 	d.Evals += opt.Evals
-	if e2.Total < res.Eval.Total {
+	adopted := e2.Total < res.Eval.Total
+	d.decide("unshare", sid, res.Eval.Total-e2.Total, adopted,
+		fmt.Sprintf("rebuild total %.1f vs current %.1f", e2.Total, res.Eval.Total))
+	if adopted {
 		d.Accepted++
 		res.Graph, res.Model, res.Paces, res.Eval, res.Splits = g2, m2, p2, e2, splits
 	}
@@ -379,7 +410,7 @@ func (d *Decomposer) tryRebuild(res *Result, cand Candidate) error {
 
 // build constructs the shared plan under the current splits.
 func (d *Decomposer) build(splits map[string][]mqo.Bitset) (*mqo.Graph, *cost.Model, error) {
-	opts := mqo.BuildOptions{}
+	opts := mqo.BuildOptions{Trace: d.Opts.Tracer}
 	if len(splits) > 0 {
 		opts.Classes = func(sig string, q int) int {
 			parts, ok := splits[sig]
@@ -403,6 +434,7 @@ func (d *Decomposer) build(splits map[string][]mqo.Bitset) (*mqo.Graph, *cost.Mo
 		return nil, nil, err
 	}
 	m := cost.NewModel(g)
+	m.Trace = d.Opts.Tracer
 	if d.Opts.DisableMemo {
 		m.UseMemo = false
 	}
@@ -420,5 +452,6 @@ func (d *Decomposer) newOptimizer(m *cost.Model) (*pace.Optimizer, error) {
 	}
 	o.Deadline = d.Opts.Deadline
 	o.Workers = d.Opts.Workers
+	o.Trace = d.Opts.Tracer
 	return o, nil
 }

@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -96,7 +99,7 @@ func (r *Runner) RunParallel(paces []int, workers int) (*Report, error) {
 
 func runWave(r *Runner, subs []int, workers int) {
 	if len(subs) == 1 {
-		r.Execs[subs[0]].RunOnce()
+		r.CountWork(r.Execs[subs[0]].RunOnce())
 		return
 	}
 	sem := make(chan struct{}, workers)
@@ -107,7 +110,11 @@ func runWave(r *Runner, subs []int, workers int) {
 		go func(id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r.Execs[id].RunOnce()
+			// Label the worker so CPU profiles attribute samples to the
+			// subplan being executed (pprof tag filtering).
+			pprof.Do(context.Background(), pprof.Labels("phase", "exec", "subplan", strconv.Itoa(id)), func(context.Context) {
+				r.CountWork(r.Execs[id].RunOnce())
+			})
 		}(id)
 	}
 	wg.Wait()

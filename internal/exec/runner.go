@@ -8,6 +8,7 @@ import (
 	"ishare/internal/buffer"
 	"ishare/internal/delta"
 	"ishare/internal/mqo"
+	"ishare/internal/trace"
 	"ishare/internal/value"
 )
 
@@ -26,9 +27,19 @@ type DeltaDataset map[string][]delta.Tuple
 // each time 1/k of the trigger window's data has arrived; pace 1 is batch
 // execution at the trigger point.
 type Runner struct {
-	Graph    *mqo.Graph
-	Data     DeltaDataset
-	Execs    []*SubplanExec
+	Graph *mqo.Graph
+	Data  DeltaDataset
+	Execs []*SubplanExec
+	// Trace optionally receives per-execution spans and shared work
+	// counters. Spans are recorded only on the sequential Run path;
+	// RunSubplan — driven concurrently by the scheduler runtime, which
+	// records its own canonically ordered spans — feeds order-independent
+	// counters only, so traces stay worker-count-invariant.
+	Trace *trace.Tracer
+	// TraceProcess names the tracer process for Run's spans ("exec" when
+	// empty).
+	TraceProcess string
+
 	tables   map[string]*buffer.Log
 	appended map[string]int
 	// windowBase marks, per table, where the current trigger window's
@@ -156,10 +167,23 @@ func (r *Runner) Run(paces []int) (*Report, error) {
 	}
 	sort.Slice(events, func(a, b int) bool { return events[a].less(events[b]) })
 
+	tr := r.Trace
+	pid := r.traceProcess()
 	start := time.Now()
 	for _, e := range events {
 		r.arriveUpTo(e.j, e.p)
-		r.Execs[e.sub].RunOnce()
+		if tr == nil {
+			r.Execs[e.sub].RunOnce()
+			continue
+		}
+		runStart := tr.Since()
+		w := r.Execs[e.sub].RunOnce()
+		tr.Span(pid, 1+e.sub, "exec", fmt.Sprintf("run %d/%d", e.j, e.p), runStart, tr.Since(),
+			trace.Arg{Key: "tuples", Value: w.Tuples},
+			trace.Arg{Key: "output", Value: w.Output},
+			trace.Arg{Key: "rescan", Value: w.Rescan},
+			trace.Arg{Key: "work", Value: w.Total()})
+		r.CountWork(w)
 	}
 	wall := time.Since(start)
 
@@ -220,8 +244,47 @@ func (r *Runner) ArriveWindow(j, p int) { r.arriveUpTo(j, p) }
 
 // RunSubplan performs one incremental execution of subplan id and returns
 // the execution's work — the per-execution reporting the scheduler runtime
-// charges against its clock.
+// charges against its clock. It stays a single inlinable expression: callers
+// that want the execution published to the tracer's counters pass the work
+// to CountWork from their own (sequential) accounting path.
 func (r *Runner) RunSubplan(id int) Work { return r.Execs[id].RunOnce() }
+
+// traceProcess registers the runner's tracer process and per-subplan thread
+// tracks (tid 1+id) and returns the pid; zero with no tracer.
+func (r *Runner) traceProcess() int {
+	tr := r.Trace
+	if tr == nil {
+		return 0
+	}
+	name := r.TraceProcess
+	if name == "" {
+		name = "exec"
+	}
+	pid := tr.Process(name)
+	for _, s := range r.Graph.Subplans {
+		tr.Thread(pid, 1+s.ID, fmt.Sprintf("subplan %d", s.ID))
+	}
+	return pid
+}
+
+// CountWork publishes one execution's work to the tracer's shared counters —
+// the same attribution path the scheduler runtime's per-subplan metrics use.
+// Counter adds commute, so concurrent executions leave totals deterministic.
+// No-op without a tracer.
+func (r *Runner) CountWork(w Work) {
+	tr := r.Trace
+	if tr == nil {
+		return
+	}
+	tr.Count("exec.executions", 1)
+	tr.Count("exec.tuples", w.Tuples)
+	tr.Count("exec.state", w.State)
+	tr.Count("exec.output", w.Output)
+	if w.Rescan > 0 {
+		tr.Count("exec.rescans", 1)
+		tr.Count("exec.rescan_work", w.Rescan)
+	}
+}
 
 // Results returns query q's current materialized result rows.
 func (r *Runner) Results(q int) []value.Row {

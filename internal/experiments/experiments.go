@@ -20,6 +20,7 @@ import (
 	"ishare/internal/opt"
 	"ishare/internal/plan"
 	"ishare/internal/tpch"
+	"ishare/internal/trace"
 )
 
 // Config parameterizes an experiment run.
@@ -37,6 +38,9 @@ type Config struct {
 	// sequential, <= 0 defaults to GOMAXPROCS. The planned configurations
 	// are identical at any setting; only optimization wall time changes.
 	OptWorkers int
+	// Tracer optionally records the whole run — parse/build/search spans,
+	// decision logs, scheduler firings — for -trace and -explain.
+	Tracer *trace.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -65,6 +69,8 @@ type Workload struct {
 	BatchFinal []int64
 	// OptWorkers is forwarded from Config into every planning request.
 	OptWorkers int
+	// Tracer is forwarded from Config into every planning request.
+	Tracer *trace.Tracer
 }
 
 // NewWorkload binds the named queries (plus perturbed variants when
@@ -79,18 +85,18 @@ func NewWorkload(cfg Config, names []string, withVariants bool) (*Workload, erro
 	if err != nil {
 		return nil, err
 	}
-	bound, err := tpch.Bind(qs, cat, false)
+	bound, err := tpch.BindTraced(qs, cat, false, cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
 	if withVariants {
-		variants, err := tpch.Bind(qs, cat, true)
+		variants, err := tpch.BindTraced(qs, cat, true, cfg.Tracer)
 		if err != nil {
 			return nil, err
 		}
 		bound = append(bound, variants...)
 	}
-	w := &Workload{Catalog: cat, Queries: bound, Data: tpch.Generate(cfg.SF, cfg.Seed), OptWorkers: cfg.OptWorkers}
+	w := &Workload{Catalog: cat, Queries: bound, Data: tpch.Generate(cfg.SF, cfg.Seed), OptWorkers: cfg.OptWorkers, Tracer: cfg.Tracer}
 	for _, q := range bound {
 		w.Names = append(w.Names, q.Name)
 	}
@@ -130,7 +136,7 @@ func (w *Workload) RunApproaches(rel []float64, maxPace int, approaches []opt.Ap
 	if err != nil {
 		return nil, err
 	}
-	req := opt.Request{Queries: w.Queries, Constraints: abs, MaxPace: maxPace, Workers: w.OptWorkers}
+	req := opt.Request{Queries: w.Queries, Constraints: abs, MaxPace: maxPace, Workers: w.OptWorkers, Trace: w.Tracer}
 	out := make([]ApproachResult, 0, len(approaches))
 	for _, a := range approaches {
 		p, err := opt.Plan(a, req)

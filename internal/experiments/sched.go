@@ -84,14 +84,14 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 		Window: window, Windows: windows, WorkRate: workRate,
 	}
 	data := exec.InsertStream(w.Data)
-	req := opt.Request{Queries: w.Queries, Constraints: abs, MaxPace: cfg.MaxPace, Workers: w.OptWorkers}
+	req := opt.Request{Queries: w.Queries, Constraints: abs, MaxPace: cfg.MaxPace, Workers: w.OptWorkers, Trace: cfg.Tracer}
 	for _, a := range DefaultApproaches {
 		p, err := opt.Plan(a, req)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a, err)
 		}
 		row := SchedRow{Approach: a, OptTime: p.OptDuration}
-		for _, job := range p.Jobs {
+		for ji, job := range p.Jobs {
 			deadlines := make([]time.Duration, len(job.QueryIDs))
 			for local, global := range job.QueryIDs {
 				goal := rel[global] * float64(w.BatchFinal[global])
@@ -104,6 +104,8 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 				WorkRate:  workRate,
 				Deadlines: deadlines,
 				Metrics:   reg,
+				Tracer:    cfg.Tracer,
+				TraceName: fmt.Sprintf("%s job %d", a, ji),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", a, err)

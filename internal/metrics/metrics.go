@@ -10,6 +10,7 @@ package metrics
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,52 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.overflow++
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values by
+// linear interpolation within the containing bucket, clamped to the observed
+// [min, max]. A rank that lands in the overflow bucket returns the observed
+// max: the overflow bucket has no upper edge to interpolate toward, so the
+// true maximum is the only defensible point estimate. Returns NaN on an
+// empty histogram or a q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if q == 0 {
+		return h.min
+	}
+	if q == 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	lo := h.min
+	for i, n := range h.counts {
+		hi := h.bounds[i]
+		if n > 0 && float64(cum+n) >= rank {
+			frac := (rank - float64(cum)) / float64(n)
+			return clamp(lo+frac*(hi-lo), h.min, h.max)
+		}
+		cum += n
+		if n > 0 {
+			lo = hi
+		}
+	}
+	// The rank falls among overflow observations (above the last bound).
+	return h.max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // Registry is a named collection of counters and histograms.

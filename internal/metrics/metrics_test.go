@@ -1,7 +1,11 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -127,6 +131,113 @@ func TestHandler(t *testing.T) {
 			t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", 1, 2)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Errorf("empty histogram quantile is not NaN")
+	}
+	// 0.5 → bucket ≤1, 1.5 → bucket ≤2, 10 → overflow (above every bound).
+	for _, v := range []float64{0.5, 1.5, 10} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 0.5 {
+		t.Errorf("q0 = %v, want observed min 0.5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("q1 = %v, want observed max 10", got)
+	}
+	// Rank 0.99·3 ≈ 2.97 lands among the overflow observations: with no
+	// upper edge to interpolate toward, the estimate must be the observed
+	// max, not the last finite bound.
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("q0.99 = %v, want overflow → max 10", got)
+	}
+	// Rank 1.5 lands in the (1, 2] bucket: halfway through its single
+	// observation interpolates to 1.5.
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("q0.5 = %v, want 1.5", got)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(bad); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", bad, got)
+		}
+	}
+	// All-overflow histogram: every quantile is the observed max.
+	h2 := r.Histogram("q2", 1)
+	h2.Observe(5)
+	h2.Observe(7)
+	if got := h2.Quantile(0.5); got != 7 {
+		t.Errorf("all-overflow q0.5 = %v, want 7", got)
+	}
+	// Interpolation clamps to the observed range even when the bucket's
+	// nominal edges exceed it.
+	h3 := r.Histogram("q3", 100)
+	h3.Observe(10)
+	h3.Observe(20)
+	if got := h3.Quantile(0.5); got < 10 || got > 20 {
+		t.Errorf("clamped q0.5 = %v, want within [10, 20]", got)
+	}
+}
+
+// TestServeMetricsRegression locks in the -serve-metrics contract: the
+// endpoint serves canonical JSON that unmarshals back into a Snapshot, and
+// two requests against an idle registry return byte-identical bodies.
+func TestServeMetricsRegression(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sched.windows").Add(4)
+	r.Counter("sched.subplan.0.work").Add(123)
+	r.Counter("sched.subplan.1.work").Add(456)
+	h := r.Histogram("sched.query_slack_ms", -100, 0, 100)
+	h.Observe(-50)
+	h.Observe(25)
+	h.Observe(1e6) // overflow
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func() []byte {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	a, b := get(), get()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("idle snapshots differ:\n%s\n----\n%s", a, b)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(a, &snap); err != nil {
+		t.Fatalf("body does not round-trip through Snapshot: %v\n%s", err, a)
+	}
+	if snap.Counters["sched.windows"] != 4 {
+		t.Errorf("round-tripped counter = %d, want 4", snap.Counters["sched.windows"])
+	}
+	hs := snap.Histograms["sched.query_slack_ms"]
+	if hs.Count != 3 || hs.Overflow != 1 {
+		t.Errorf("round-tripped histogram count/overflow = %d/%d, want 3/1", hs.Count, hs.Overflow)
+	}
+	// Re-marshaling the unmarshaled snapshot reproduces the served bytes
+	// (modulo the encoder's trailing newline): the JSON is canonical.
+	again, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != strings.TrimRight(string(a), "\n") {
+		t.Errorf("re-marshaled snapshot differs from served body:\n%s\n----\n%s", again, a)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"ishare/internal/catalog"
 	"ishare/internal/expr"
 	"ishare/internal/plan"
+	"ishare/internal/trace"
 )
 
 // Build merges the queries' logical plans into one shared DAG.
@@ -29,6 +30,8 @@ type BuildOptions struct {
 	// subplans "unshared" into per-partition copies. A nil function (or a
 	// uniform return value) reproduces maximal sharing.
 	Classes func(sig string, q int) int
+	// Trace optionally records a build span with sharing statistics.
+	Trace *trace.Tracer
 }
 
 // BuildWithOptions merges the queries' plans under the given sharing
@@ -37,6 +40,7 @@ func BuildWithOptions(queries []plan.Query, opts BuildOptions) (*SharedPlan, err
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("mqo: no queries")
 	}
+	buildStart := opts.Trace.Since()
 	if len(queries) > MaxQueries {
 		return nil, fmt.Errorf("mqo: %d queries exceed the %d-query bitvector limit", len(queries), MaxQueries)
 	}
@@ -64,6 +68,21 @@ func BuildWithOptions(queries []plan.Query, opts BuildOptions) (*SharedPlan, err
 	}
 	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if tr := opts.Trace; tr != nil {
+		shared := 0
+		for _, o := range sp.Ops {
+			if o.Queries.Count() > 1 {
+				shared++
+			}
+		}
+		pid := tr.Process("optimizer")
+		tr.Thread(pid, 3, "build")
+		tr.Span(pid, 3, "build", "mqo.build", buildStart, tr.Since(),
+			trace.Arg{Key: "queries", Value: len(queries)},
+			trace.Arg{Key: "ops", Value: len(sp.Ops)},
+			trace.Arg{Key: "shared_ops", Value: shared})
+		tr.Count("mqo.builds", 1)
 	}
 	return sp, nil
 }

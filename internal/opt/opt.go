@@ -17,6 +17,7 @@ import (
 	"ishare/internal/mqo"
 	"ishare/internal/pace"
 	"ishare/internal/plan"
+	"ishare/internal/trace"
 )
 
 // Approach identifies one compared system.
@@ -70,6 +71,9 @@ type Job struct {
 	Graph    *mqo.Graph
 	Paces    []int
 	QueryIDs []int
+	// Model is the cost model the planner used for this job; EXPLAIN reads
+	// its memo-traffic counters and re-evaluates marginal raises from it.
+	Model *cost.Model
 }
 
 // Planned is the outcome of optimization for one approach.
@@ -101,6 +105,10 @@ type Request struct {
 	// sequential, <= 0 defaults to GOMAXPROCS. Any setting returns the
 	// same plan.
 	Workers int
+	// Trace optionally records the whole optimization: build/search spans,
+	// memo counters and the pace/decomposition decision logs EXPLAIN and
+	// the Chrome export render.
+	Trace *trace.Tracer
 }
 
 // AbsoluteConstraints converts relative final-work constraints (fractions
@@ -191,6 +199,7 @@ func planNoShare(req Request, nonuniform bool) (*Planned, error) {
 			return nil, err
 		}
 		m := cost.NewModel(g)
+		m.Trace = req.Trace
 		if req.Calibration != nil {
 			m.SetCalibration(req.Calibration)
 		}
@@ -202,6 +211,7 @@ func planNoShare(req Request, nonuniform bool) (*Planned, error) {
 				return nil, err
 			}
 			o.Workers = req.Workers
+			o.Trace = req.Trace
 			pc, ev, err := o.Greedy()
 			if err != nil {
 				return nil, err
@@ -214,7 +224,7 @@ func planNoShare(req Request, nonuniform bool) (*Planned, error) {
 			}
 			paces, est = pc, ev.Total
 		}
-		p.Jobs = append(p.Jobs, Job{Graph: g, Paces: paces, QueryIDs: []int{qi}})
+		p.Jobs = append(p.Jobs, Job{Graph: g, Paces: paces, QueryIDs: []int{qi}, Model: m})
 		p.EstTotal += est
 	}
 	return p, nil
@@ -292,7 +302,7 @@ func queryInComponent(g *mqo.Graph, q int, within map[int]bool) bool {
 // planShareUniform builds the MQO shared plan and assigns one pace per
 // connected component (the paper's "several separate shared plans").
 func planShareUniform(req Request) (*Planned, error) {
-	sp, err := mqo.Build(req.Queries)
+	sp, err := mqo.BuildWithOptions(req.Queries, mqo.BuildOptions{Trace: req.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -301,6 +311,7 @@ func planShareUniform(req Request) (*Planned, error) {
 		return nil, err
 	}
 	m := cost.NewModel(g)
+	m.Trace = req.Trace
 	if req.Calibration != nil {
 		m.SetCalibration(req.Calibration)
 	}
@@ -328,7 +339,7 @@ func planShareUniform(req Request) (*Planned, error) {
 		ids[i] = i
 	}
 	return &Planned{
-		Jobs:     []Job{{Graph: g, Paces: paces, QueryIDs: ids}},
+		Jobs:     []Job{{Graph: g, Paces: paces, QueryIDs: ids, Model: m}},
 		EstTotal: ev.Total,
 	}, nil
 }
@@ -382,6 +393,7 @@ func planIShare(a Approach, req Request) (*Planned, error) {
 			BruteForce:  a == IShareBruteForce,
 			Calibration: req.Calibration,
 			Workers:     req.Workers,
+			Tracer:      req.Trace,
 		},
 	}
 	res, err := d.Optimize()
@@ -393,7 +405,7 @@ func planIShare(a Approach, req Request) (*Planned, error) {
 		ids[i] = i
 	}
 	return &Planned{
-		Jobs:     []Job{{Graph: res.Graph, Paces: res.Paces, QueryIDs: ids}},
+		Jobs:     []Job{{Graph: res.Graph, Paces: res.Paces, QueryIDs: ids, Model: res.Model}},
 		EstTotal: res.Eval.Total,
 		Splits:   res.Splits,
 	}, nil

@@ -7,15 +7,18 @@
 package pace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ishare/internal/cost"
+	"ishare/internal/trace"
 )
 
 // ErrDeadline is returned when an optimizer exceeds its deadline (the
@@ -53,6 +56,12 @@ type Optimizer struct {
 	// sequentially on the caller's goroutine (today's exact code path);
 	// <= 0 defaults to GOMAXPROCS.
 	Workers int
+	// Trace optionally records the search as one span plus one structured
+	// Decision per greedy step (every candidate considered with its
+	// incrementability, and the accepted action). Decisions are recorded in
+	// the sequential selection section, so traces are identical at any
+	// Workers setting. Nil disables tracing.
+	Trace *trace.Tracer
 
 	// Steps counts greedy iterations; Evals counts cost evaluations. Both
 	// are updated atomically; read them after the search returns.
@@ -200,14 +209,90 @@ func (o *Optimizer) parentMax(i int, p []int) int {
 	return max
 }
 
+// Track ids within the "optimizer" trace process.
+const (
+	tidGreedy  = 1
+	tidReverse = 2
+	tidBuild   = 3
+	tidSplit   = 4
+	tidParse   = 5
+)
+
+// searchTrace is the per-search tracing state: the trace track plus the open
+// search span. The zero value (tracing disabled) no-ops everywhere.
+type searchTrace struct {
+	t        *trace.Tracer
+	pid, tid int
+	region   trace.Region
+	step     int
+}
+
+// beginSearch opens the search span on the optimizer process.
+func (o *Optimizer) beginSearch(tid int, name string) *searchTrace {
+	if !o.Trace.Enabled() {
+		return &searchTrace{}
+	}
+	st := &searchTrace{t: o.Trace, pid: o.Trace.Process("optimizer"), tid: tid}
+	st.t.Thread(st.pid, st.tid, name)
+	st.region = o.Trace.Begin(st.pid, st.tid, "opt", name,
+		trace.Arg{Key: "subplans", Value: len(o.Model.Graph.Subplans)})
+	return st
+}
+
+// end closes the search span with the search totals and publishes them to
+// the shared pace.steps / pace.evals counters the EXPLAIN report reads.
+func (st *searchTrace) end(o *Optimizer) {
+	if st.t == nil {
+		return
+	}
+	steps := atomic.LoadInt64(&o.Steps)
+	evals := atomic.LoadInt64(&o.Evals)
+	st.region.End(
+		trace.Arg{Key: "steps", Value: steps},
+		trace.Arg{Key: "evals", Value: evals})
+	st.t.Count("pace.steps", steps)
+	st.t.Count("pace.evals", evals)
+}
+
+// decide records one step's Decision, attaching every candidate's score.
+func (st *searchTrace) decide(o *Optimizer, phase, action string, chosen int, score float64,
+	accepted bool, detail string, ids []int, evals []cost.Eval, scoreOf func(cost.Eval) float64) {
+	if st.t == nil {
+		return
+	}
+	st.step++
+	d := trace.Decision{
+		Phase: phase, Step: st.step, Subplan: chosen, Action: action,
+		Score: score, Accepted: accepted, Detail: detail,
+	}
+	if len(ids) > 0 {
+		d.Candidates = make([]trace.Candidate, len(ids))
+		for k, i := range ids {
+			d.Candidates[k] = trace.Candidate{Subplan: i, Score: scoreOf(evals[k])}
+		}
+	}
+	st.t.Decide(st.pid, st.tid, d)
+}
+
 // Greedy finds a pace configuration starting from batch execution (all
 // paces 1), repeatedly raising the pace of the subplan with the highest
 // incrementability until every constraint is met, every pace reaches
-// MaxPace, or no single increment yields any benefit.
-func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
+// MaxPace, or no single increment yields any benefit. The search goroutine
+// (and, by inheritance, its candidate-evaluation workers) carries the pprof
+// label phase=opt, so CPU profiles attribute search samples.
+func (o *Optimizer) Greedy() (p []int, ev cost.Eval, err error) {
+	pprof.Do(context.Background(), pprof.Labels("phase", "opt"), func(context.Context) {
+		p, ev, err = o.greedy()
+	})
+	return p, ev, err
+}
+
+func (o *Optimizer) greedy() ([]int, cost.Eval, error) {
 	if DebugObserveSearch != nil {
 		DebugObserveSearch(o)
 	}
+	st := o.beginSearch(tidGreedy, "pace.greedy")
+	defer st.end(o)
 	n := len(o.Model.Graph.Subplans)
 	p := make([]int, n)
 	for i := range p {
@@ -218,7 +303,12 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 		return nil, cost.Eval{}, err
 	}
 	for {
-		if o.meets(cur) || o.allAtMax(p) {
+		if o.meets(cur) {
+			st.decide(o, "pace.greedy", "stop", -1, 0, false, "all constraints met", nil, nil, nil)
+			return p, cur, nil
+		}
+		if o.allAtMax(p) {
+			st.decide(o, "pace.greedy", "stop", -1, 0, false, "every pace at MaxPace", nil, nil, nil)
 			return p, cur, nil
 		}
 		atomic.AddInt64(&o.Steps, 1)
@@ -251,7 +341,10 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 				best, bestInc, bestEval = i, inc, evals[k]
 			}
 		}
-		if best != -1 && bestInc > 0 {
+		raised := best != -1 && bestInc > 0
+		st.decide(o, "pace.greedy", "raise", best, bestInc, raised, "", ids, evals,
+			func(e cost.Eval) float64 { return o.Incrementability(e, cur) })
+		if raised {
 			p[best]++
 			cur = bestEval
 			continue
@@ -261,15 +354,19 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 		// retraction churn inflates its parents' final executions — so
 		// try chain increments: a subplan together with its upward
 		// closure of ancestors, which consume the churn eagerly too.
-		chain, chainEval, chainInc, err := o.bestChain(p, cur)
+		chainID, chain, chainEval, chainInc, err := o.bestChain(p, cur)
 		if err != nil {
 			return nil, cost.Eval{}, err
 		}
 		if chain == nil || chainInc <= 0 {
 			// The remaining misses are not incrementable at this
 			// granularity.
+			st.decide(o, "pace.greedy", "stop", -1, 0, false,
+				"remaining misses not incrementable (no raise or chain helps)", nil, nil, nil)
 			return p, cur, nil
 		}
+		st.decide(o, "pace.greedy", "chain", chainID, chainInc, true,
+			"raised subplan with its ancestor closure", nil, nil, nil)
 		copy(p, chain)
 		cur = chainEval
 	}
@@ -277,8 +374,9 @@ func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
 
 // bestChain evaluates, for each subplan below MaxPace, the candidate that
 // increments the subplan and all of its transitive parents by one, skipping
-// candidates that would violate the parent≤child pace order elsewhere.
-func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64, error) {
+// candidates that would violate the parent≤child pace order elsewhere. It
+// returns the chosen chain's root subplan id (-1 when none qualifies).
+func (o *Optimizer) bestChain(p []int, cur cost.Eval) (int, []int, cost.Eval, float64, error) {
 	g := o.Model.Graph
 	var ids []int
 	var cands [][]int
@@ -323,7 +421,7 @@ func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64
 	}
 	evals, err := o.evalEach(cands)
 	if err != nil {
-		return nil, cost.Eval{}, 0, err
+		return -1, nil, cost.Eval{}, 0, err
 	}
 	bestID := -1
 	var best []int
@@ -335,17 +433,26 @@ func (o *Optimizer) bestChain(p []int, cur cost.Eval) ([]int, cost.Eval, float64
 			bestID, best, bestInc, bestEval = i, cands[k], inc, evals[k]
 		}
 	}
-	return best, bestEval, bestInc, nil
+	return bestID, best, bestEval, bestInc, nil
 }
 
 // ReverseGreedy starts from an eager configuration and repeatedly lowers
 // the pace of the subplan with the lowest incrementability — the one whose
 // eagerness buys the least — as long as no query's bounded final work gets
 // worse (paper §4.2). It is used to re-find paces after decomposition.
-func (o *Optimizer) ReverseGreedy(start []int) ([]int, cost.Eval, error) {
+func (o *Optimizer) ReverseGreedy(start []int) (p []int, ev cost.Eval, err error) {
+	pprof.Do(context.Background(), pprof.Labels("phase", "opt"), func(context.Context) {
+		p, ev, err = o.reverseGreedy(start)
+	})
+	return p, ev, err
+}
+
+func (o *Optimizer) reverseGreedy(start []int) ([]int, cost.Eval, error) {
 	if DebugObserveSearch != nil {
 		DebugObserveSearch(o)
 	}
+	st := o.beginSearch(tidReverse, "pace.reverse")
+	defer st.end(o)
 	n := len(o.Model.Graph.Subplans)
 	p := append([]int(nil), start...)
 	cur, err := o.eval(p)
@@ -387,12 +494,18 @@ func (o *Optimizer) ReverseGreedy(start []int) ([]int, cost.Eval, error) {
 			}
 		}
 		if best == -1 {
+			st.decide(o, "pace.reverse", "stop", -1, 0, false,
+				"no lowering keeps every bounded constraint", nil, nil, nil)
 			return p, cur, nil
 		}
 		if bestEval.Total >= cur.Total && bestInc > 0 {
 			// Laziness must save work unless it is free.
+			st.decide(o, "pace.reverse", "stop", best, bestInc, false,
+				"cheapest lowering no longer saves work", nil, nil, nil)
 			return p, cur, nil
 		}
+		st.decide(o, "pace.reverse", "lower", best, bestInc, true, "", ids, evals,
+			func(e cost.Eval) float64 { return o.Incrementability(cur, e) })
 		p[best]--
 		cur = bestEval
 	}

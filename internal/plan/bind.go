@@ -8,6 +8,7 @@ import (
 	"ishare/internal/catalog"
 	"ishare/internal/expr"
 	"ishare/internal/sqlparser"
+	"ishare/internal/trace"
 	"ishare/internal/value"
 )
 
@@ -27,6 +28,23 @@ func ParseAndBind(sql string, cat *catalog.Catalog) (Node, error) {
 		return nil, err
 	}
 	return Bind(stmt, cat)
+}
+
+// ParseAndBindTraced is ParseAndBind with parse-phase tracing: the parse
+// itself is spanned by sqlparser.ParseTraced and the bind gets its own span
+// on the same track. A nil tracer makes it equivalent to ParseAndBind.
+func ParseAndBindTraced(sql string, cat *catalog.Catalog, tr *trace.Tracer) (Node, error) {
+	stmt, err := sqlparser.ParseTraced(sql, tr)
+	if err != nil {
+		return nil, err
+	}
+	bindStart := tr.Since()
+	n, err := Bind(stmt, cat)
+	if tr != nil && err == nil {
+		pid := tr.Process("optimizer")
+		tr.Span(pid, 5, "parse", "plan.bind", bindStart, tr.Since())
+	}
+	return n, err
 }
 
 type binder struct {

@@ -27,9 +27,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +40,7 @@ import (
 	"ishare/internal/metrics"
 	"ishare/internal/mqo"
 	"ishare/internal/pace"
+	"ishare/internal/trace"
 	"ishare/internal/value"
 )
 
@@ -79,6 +83,16 @@ type Config struct {
 	// Trace records every firing into Result.Trace — the byte-level
 	// schedule the determinism tests compare.
 	Trace bool
+	// Tracer optionally receives the run's spans: per-firing execution
+	// spans on per-subplan tracks, a window span plus deadline-settlement
+	// instants on the control track (tid 0), and degradation decisions.
+	// Span offsets come from the canonical sequential accounting loop, so
+	// exports are byte-identical at any Workers setting.
+	Tracer *trace.Tracer
+	// TraceName names the tracer process for this run ("sched" when
+	// empty) — one process per scheduler run gives one Perfetto track
+	// group per job.
+	TraceName string
 }
 
 // FiringRecord traces one incremental execution (recorded when Config.Trace
@@ -154,6 +168,17 @@ type Scheduler struct {
 	winWork  int64
 	winExecs int
 
+	tr        *trace.Tracer
+	tracePid  int
+	traceBase time.Duration      // scheduler epoch's offset on the tracer timeline
+	subExecs  []*metrics.Counter // per-subplan execution counters
+	subWork   []*metrics.Counter // per-subplan work counters
+	// Per-window accumulators for the counters above: the canonical
+	// accounting loop is single-threaded, so plain increments here and one
+	// atomic flush per window keep the per-firing hot path free of atomics.
+	winSubExecs []int64
+	winSubWork  []int64
+
 	res  Result
 	done bool
 }
@@ -216,7 +241,32 @@ func New(g *mqo.Graph, paces []int, src Source, cfg Config) (*Scheduler, error) 
 		}
 		s.depth[sub.ID] = d
 	}
+	// Per-subplan counters are created once up front so the per-firing hot
+	// loop pays two atomic adds, not a registry lookup plus key formatting.
+	s.subExecs = make([]*metrics.Counter, len(g.Subplans))
+	s.subWork = make([]*metrics.Counter, len(g.Subplans))
+	s.winSubExecs = make([]int64, len(g.Subplans))
+	s.winSubWork = make([]int64, len(g.Subplans))
+	for i := range g.Subplans {
+		s.subExecs[i] = s.reg.Counter(fmt.Sprintf("sched.subplan.%d.executions", i))
+		s.subWork[i] = s.reg.Counter(fmt.Sprintf("sched.subplan.%d.work", i))
+	}
 	s.epoch = s.clock.Now()
+	if tr := cfg.Tracer; tr != nil {
+		s.tr = tr
+		name := cfg.TraceName
+		if name == "" {
+			name = "sched"
+		}
+		s.tracePid = tr.Process(name)
+		s.traceBase = tr.Since()
+		tr.Thread(s.tracePid, 0, "windows")
+		for _, sub := range g.Subplans {
+			tr.Thread(s.tracePid, 1+sub.ID, fmt.Sprintf("subplan %d", sub.ID))
+		}
+		runner.Trace = tr
+		runner.TraceProcess = name
+	}
 	return s, nil
 }
 
@@ -336,7 +386,22 @@ func (s *Scheduler) runGroup(group []pace.Firing) {
 		s.res.TotalWork += w
 		execs.Inc()
 		workCtr.Add(w)
+		s.winSubExecs[f.Subplan]++
+		s.winSubWork[f.Subplan] += w
 		lagHist.Observe(float64(start.Sub(due)) / float64(time.Millisecond))
+		if s.tr != nil {
+			// Offsets come from this canonical loop, not the workers'
+			// clocks, so the exported trace is worker-count-invariant; the
+			// shared exec counters are fed here too, keeping the concurrent
+			// execution path free of tracer work.
+			s.runner.CountWork(works[i])
+			s.tr.Span(s.tracePid, 1+f.Subplan, "sched",
+				fmt.Sprintf("fire %d/%d", f.Index, f.Pace),
+				s.traceBase+start.Sub(s.epoch), s.traceBase+t.Sub(s.epoch),
+				trace.Arg{Key: "window", Value: s.window},
+				trace.Arg{Key: "due", Value: due.Sub(s.epoch)},
+				trace.Arg{Key: "work", Value: w})
+		}
 		if s.cfg.Trace {
 			s.res.Trace = append(s.res.Trace, FiringRecord{
 				Window:  s.window,
@@ -395,7 +460,11 @@ func (s *Scheduler) execute(group []pace.Firing) []exec.Work {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				works[i] = s.runner.RunSubplan(group[i].Subplan)
+				// Label the worker so CPU profiles attribute samples to
+				// the subplan and the sched phase (pprof tag filtering).
+				pprof.Do(context.Background(), pprof.Labels("phase", "sched", "subplan", strconv.Itoa(group[i].Subplan)), func(context.Context) {
+					works[i] = s.runner.RunSubplan(group[i].Subplan)
+				})
 			}(i)
 		}
 		wg.Wait()
@@ -411,6 +480,16 @@ func (s *Scheduler) workDuration(w exec.Work) time.Duration {
 }
 
 func (s *Scheduler) closeWindow() {
+	for i := range s.winSubExecs {
+		if n := s.winSubExecs[i]; n > 0 {
+			s.subExecs[i].Add(n)
+			s.winSubExecs[i] = 0
+		}
+		if w := s.winSubWork[i]; w > 0 {
+			s.subWork[i].Add(w)
+			s.winSubWork[i] = 0
+		}
+	}
 	winEnd := s.winStart.Add(s.cfg.Window)
 	ws := WindowStats{
 		Window:     s.window,
@@ -437,6 +516,13 @@ func (s *Scheduler) closeWindow() {
 			ws.Missed++
 		}
 		slackHist.Observe(float64(slack) / float64(time.Millisecond))
+		if s.tr != nil {
+			s.tr.Instant(s.tracePid, 0, "deadline", fmt.Sprintf("query %d", q),
+				s.traceBase+completion.Sub(s.epoch),
+				trace.Arg{Key: "window", Value: s.window},
+				trace.Arg{Key: "slack", Value: slack},
+				trace.Arg{Key: "met", Value: slack >= 0})
+		}
 	}
 	s.res.Met += ws.Met
 	s.res.Missed += ws.Missed
@@ -453,8 +539,27 @@ func (s *Scheduler) closeWindow() {
 				s.res.Decisions = append(s.res.Decisions, *d)
 				s.reg.Counter("sched.degrade_total").Inc()
 				s.reg.Counter(fmt.Sprintf("sched.degrade.subplan.%d", d.Subplan)).Inc()
+				if s.tr != nil {
+					s.tr.DecideAt(s.tracePid, 0, s.traceBase+winEnd.Sub(s.epoch), trace.Decision{
+						Phase: "sched.degrade", Step: len(s.res.Decisions),
+						Subplan: d.Subplan, Action: "halve_pace",
+						Score: float64(d.Spent) / float64(time.Millisecond), Accepted: true,
+						Detail: fmt.Sprintf("window %d overloaded: pace %d -> %d, %d ancestors clamped",
+							s.window, d.OldPace, d.NewPace, len(d.Clamped)),
+					})
+				}
 			}
 		}
+	}
+	if s.tr != nil {
+		s.tr.Span(s.tracePid, 0, "sched", fmt.Sprintf("window %d", s.window),
+			s.traceBase+s.winStart.Sub(s.epoch), s.traceBase+winEnd.Sub(s.epoch),
+			trace.Arg{Key: "executions", Value: s.winExecs},
+			trace.Arg{Key: "work", Value: s.winWork},
+			trace.Arg{Key: "met", Value: ws.Met},
+			trace.Arg{Key: "missed", Value: ws.Missed},
+			trace.Arg{Key: "max_lag", Value: s.maxLag},
+			trace.Arg{Key: "overloaded", Value: ws.Overloaded})
 	}
 	s.res.Windows = append(s.res.Windows, ws)
 }

@@ -1,0 +1,27 @@
+package sqlparser
+
+import "ishare/internal/trace"
+
+// ParseTraced parses src like Parse and records a parse span (source size,
+// FROM items, projection width) on the optimizer's parse track. A nil tracer
+// costs one pointer check.
+func ParseTraced(src string, tr *trace.Tracer) (*SelectStmt, error) {
+	start := tr.Since()
+	stmt, err := Parse(src)
+	if tr != nil {
+		pid := tr.Process("optimizer")
+		tr.Thread(pid, 5, "parse")
+		args := []trace.Arg{{Key: "bytes", Value: len(src)}}
+		if stmt != nil {
+			args = append(args,
+				trace.Arg{Key: "from_items", Value: len(stmt.From)},
+				trace.Arg{Key: "select_items", Value: len(stmt.Items)})
+		}
+		if err != nil {
+			args = append(args, trace.Arg{Key: "error", Value: err.Error()})
+		}
+		tr.Span(pid, 5, "parse", "sqlparser.parse", start, tr.Since(), args...)
+		tr.Count("parse.statements", 1)
+	}
+	return stmt, err
+}

@@ -5,6 +5,7 @@ import (
 
 	"ishare/internal/catalog"
 	"ishare/internal/plan"
+	"ishare/internal/trace"
 )
 
 // Query is one workload query. Variant=true yields the perturbed version
@@ -345,9 +346,15 @@ func ByName(names ...string) ([]Query, error) {
 // Bind parses and binds queries against a catalog. Variant selects the
 // perturbed version of each query; the bound query names get a "v" suffix.
 func Bind(queries []Query, cat *catalog.Catalog, variant bool) ([]plan.Query, error) {
+	return BindTraced(queries, cat, variant, nil)
+}
+
+// BindTraced is Bind with per-query parse/bind spans on the tracer's parse
+// track; a nil tracer makes it equivalent to Bind.
+func BindTraced(queries []Query, cat *catalog.Catalog, variant bool, tr *trace.Tracer) ([]plan.Query, error) {
 	out := make([]plan.Query, 0, len(queries))
 	for _, q := range queries {
-		n, err := plan.ParseAndBind(q.Build(variant), cat)
+		n, err := plan.ParseAndBindTraced(q.Build(variant), cat, tr)
 		if err != nil {
 			return nil, fmt.Errorf("tpch: %s: %w", q.Name, err)
 		}

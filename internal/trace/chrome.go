@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteChrome exports the trace in Chrome trace-event JSON (the "JSON array
+// format" with a traceEvents wrapper), loadable in Perfetto and
+// chrome://tracing. The output is canonical: metadata events sorted by pid
+// and tid, then spans/instants in snapshot order, then decision instants,
+// then one closing counters event — so two tracers that recorded the same
+// logical history marshal byte-identically.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	procs, threads, threadNames, events, decisions, counters := t.snapshot()
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		bw.WriteString(s)
+	}
+
+	for i, name := range procs {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			i+1, jstr(name)))
+	}
+	for _, th := range threads {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			th.pid, th.tid, jstr(threadNames[th])))
+	}
+	for _, e := range events {
+		if e.dur < 0 {
+			emit(fmt.Sprintf(`{"ph":"I","s":"t","pid":%d,"tid":%d,"cat":%s,"name":%s,"ts":%s%s}`,
+				e.pid, e.tid, jstr(e.cat), jstr(e.name), usec(e.start), jargs(e.args)))
+			continue
+		}
+		emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s%s}`,
+			e.pid, e.tid, jstr(e.cat), jstr(e.name), usec(e.start), usec(e.dur), jargs(e.args)))
+	}
+	for _, r := range decisions {
+		d := r.d
+		args := []Arg{
+			{"phase", d.Phase}, {"step", d.Step}, {"subplan", d.Subplan},
+			{"action", d.Action}, {"score", d.Score}, {"accepted", d.Accepted},
+		}
+		if d.Detail != "" {
+			args = append(args, Arg{"detail", d.Detail})
+		}
+		if len(d.Candidates) > 0 {
+			args = append(args, Arg{"candidates", candString(d.Candidates)})
+		}
+		emit(fmt.Sprintf(`{"ph":"I","s":"t","pid":%d,"tid":%d,"cat":"decision","name":%s,"ts":%s%s}`,
+			r.pid, r.tid, jstr(d.Phase+"/"+d.Action), usec(r.at), jargs(args)))
+	}
+	if len(counters) > 0 {
+		args := make([]Arg, 0, len(counters))
+		for _, k := range sortedKeys(counters) {
+			args = append(args, Arg{k, counters[k]})
+		}
+		emit(fmt.Sprintf(`{"ph":"I","s":"g","pid":1,"tid":0,"cat":"counters","name":"counters","ts":0%s}`,
+			jargs(args)))
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders a duration as microseconds with nanosecond precision (Chrome
+// trace timestamps are in microseconds; fractional values are accepted).
+func usec(d time.Duration) string {
+	ns := d.Nanoseconds()
+	if ns%1000 == 0 {
+		return strconv.FormatInt(ns/1000, 10)
+	}
+	return strconv.FormatFloat(float64(ns)/1000, 'f', 3, 64)
+}
+
+// jstr marshals a string as JSON (deterministic escaping).
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// jargs renders an Arg list as a JSON "args" member in key order, or empty
+// when there are no args.
+func jargs(args []Arg) string {
+	if len(args) == 0 {
+		return ""
+	}
+	out := `,"args":{`
+	for i, a := range args {
+		if i > 0 {
+			out += ","
+		}
+		out += jstr(a.Key) + ":" + jval(a.Value)
+	}
+	return out + "}"
+}
+
+// jval renders one argument value deterministically.
+func jval(v interface{}) string {
+	switch x := v.(type) {
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return jfloat(x)
+	case bool:
+		return strconv.FormatBool(x)
+	case string:
+		return jstr(x)
+	case time.Duration:
+		return jstr(x.String())
+	default:
+		return jstr(fmt.Sprintf("%v", v))
+	}
+}
+
+// jfloat renders a float as JSON; infinities (legal incrementability scores)
+// become strings, since JSON has no literal for them.
+func jfloat(f float64) string {
+	if f != f || f > 1.7e308 || f < -1.7e308 {
+		return jstr(strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// candString renders a candidate list compactly: "s3=0.42 s1=0.1".
+func candString(cs []Candidate) string {
+	out := ""
+	for i, c := range cs {
+		if i > 0 {
+			out += " "
+		}
+		out += "s" + strconv.Itoa(c.Subplan) + "=" + strconv.FormatFloat(c.Score, 'g', 4, 64)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; counter sets are small
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,348 @@
+// Package trace is the engine's end-to-end execution tracer: a low-overhead
+// span recorder threaded through parsing, shared-plan building, the cost
+// model, the pace search, decomposition and the scheduler runtime, exporting
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) and a
+// human-readable EXPLAIN report.
+//
+// A nil *Tracer is the disabled tracer: every method is a no-op behind a
+// single pointer check and performs zero allocations, so hot paths carry a
+// tracer field unconditionally. Callers that build argument lists must still
+// guard with Enabled() — constructing the arguments themselves is the cost,
+// not the call.
+//
+// Determinism: spans carry explicit offsets (or stopwatch offsets read from
+// an injectable clock), and the exporter sorts every event canonically, so a
+// run on a virtual clock whose work accounting is worker-count-invariant
+// (internal/sched) exports byte-identical traces at any worker count. That
+// is what the golden-file tests compare.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one key/value annotation on a span, instant or decision. Values may
+// be int, int64, float64, string or bool; anything else is rendered with %v.
+type Arg struct {
+	Key   string
+	Value interface{}
+}
+
+// Candidate is one alternative considered by an optimizer step.
+type Candidate struct {
+	Subplan int
+	Score   float64
+}
+
+// Decision is one structured optimizer-decision record: a pace-search step,
+// a decomposition verdict, or a scheduler degradation. The decision log is
+// both exported into the Chrome trace (as instant events) and rendered by
+// the EXPLAIN report.
+type Decision struct {
+	// Phase identifies the deciding component: "pace.greedy",
+	// "pace.reverse", "decompose", "sched.degrade".
+	Phase string
+	// Step is the phase-local step number (1-based).
+	Step int
+	// Subplan is the chosen subplan id, -1 when no candidate was chosen.
+	Subplan int
+	// Action says what was done: "raise", "chain", "lower", "stop",
+	// "propose", "unshare", "degrade".
+	Action string
+	// Score is the deciding metric (incrementability, local gain, ...).
+	Score float64
+	// Accepted reports whether the action was taken.
+	Accepted bool
+	// Detail is a free-form human-readable rationale.
+	Detail string
+	// Candidates lists the alternatives considered, in evaluation order.
+	Candidates []Candidate
+}
+
+// thread identifies one track.
+type thread struct{ pid, tid int }
+
+// event is one recorded span or instant.
+type event struct {
+	pid, tid  int
+	cat, name string
+	start     time.Duration
+	dur       time.Duration // < 0 marks an instant event
+	args      []Arg
+}
+
+// decisionRec is a Decision placed on a track at an offset.
+type decisionRec struct {
+	pid, tid int
+	at       time.Duration
+	d        Decision
+}
+
+// Tracer records spans, instants, decisions and counters. The zero value is
+// not usable; construct with New or NewWithClock. A nil *Tracer is the
+// disabled tracer: all methods no-op.
+type Tracer struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	epoch     time.Time
+	procs     map[string]int
+	procNames []string // index pid-1
+	threads   map[thread]string
+	events    []event
+	decisions []decisionRec
+
+	cmu      sync.RWMutex
+	counters map[string]*int64
+}
+
+// New returns an enabled tracer on the real clock.
+func New() *Tracer { return NewWithClock(time.Now) }
+
+// NewWithClock returns an enabled tracer whose stopwatch spans read the
+// given clock — a deterministic virtual clock makes stopwatch offsets (and
+// therefore the exported trace) reproducible. The epoch is the clock's
+// instant at construction; all offsets are measured from it.
+func NewWithClock(now func() time.Time) *Tracer {
+	return &Tracer{
+		now:      now,
+		epoch:    now(),
+		procs:    make(map[string]int),
+		threads:  make(map[thread]string),
+		counters: make(map[string]*int64),
+	}
+}
+
+// Enabled reports whether the tracer records anything. Use it to guard
+// argument construction on hot paths.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Since returns the clock offset from the tracer epoch (0 when disabled).
+func (t *Tracer) Since() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now().Sub(t.epoch)
+}
+
+// Process returns the pid for a named track group, registering it on first
+// use. Repeated calls with one name return the same pid, so independent
+// components can address "optimizer" without coordination. Returns 0 when
+// disabled.
+func (t *Tracer) Process(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pid, ok := t.procs[name]; ok {
+		return pid
+	}
+	t.procNames = append(t.procNames, name)
+	pid := len(t.procNames)
+	t.procs[name] = pid
+	return pid
+}
+
+// Thread names a track within a process (idempotent).
+func (t *Tracer) Thread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[thread{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Span records a complete span with explicit offsets from the epoch — the
+// form the scheduler uses for its canonical (worker-count-invariant) work
+// accounting.
+func (t *Tracer) Span(pid, tid int, cat, name string, start, end time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	d := end - start
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.events = append(t.events, event{pid: pid, tid: tid, cat: cat, name: name, start: start, dur: d, args: args})
+	t.mu.Unlock()
+}
+
+// Instant records a point event at an explicit offset.
+func (t *Tracer) Instant(pid, tid int, cat, name string, at time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, event{pid: pid, tid: tid, cat: cat, name: name, start: at, dur: -1, args: args})
+	t.mu.Unlock()
+}
+
+// Region is an open stopwatch span returned by Begin. The zero Region (from
+// a disabled tracer) is safe to End.
+type Region struct {
+	t         *Tracer
+	pid, tid  int
+	cat, name string
+	start     time.Duration
+	args      []Arg
+}
+
+// Begin opens a stopwatch span on the tracer's clock; close it with End.
+// Begin/End pairs must run in deterministic program order (single-goroutine
+// sections) for traces to be reproducible.
+func (t *Tracer) Begin(pid, tid int, cat, name string, args ...Arg) Region {
+	if t == nil {
+		return Region{}
+	}
+	return Region{t: t, pid: pid, tid: tid, cat: cat, name: name, start: t.Since(), args: args}
+}
+
+// End closes the span, appending any extra args recorded at completion.
+func (r Region) End(args ...Arg) {
+	if r.t == nil {
+		return
+	}
+	all := r.args
+	if len(args) > 0 {
+		all = append(append([]Arg(nil), r.args...), args...)
+	}
+	r.t.Span(r.pid, r.tid, r.cat, r.name, r.start, r.t.Since(), all...)
+}
+
+// Decide appends a decision record placed at the tracer clock's current
+// offset.
+func (t *Tracer) Decide(pid, tid int, d Decision) {
+	if t == nil {
+		return
+	}
+	t.DecideAt(pid, tid, t.Since(), d)
+}
+
+// DecideAt appends a decision record at an explicit offset.
+func (t *Tracer) DecideAt(pid, tid int, at time.Duration, d Decision) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.decisions = append(t.decisions, decisionRec{pid: pid, tid: tid, at: at, d: d})
+	t.mu.Unlock()
+}
+
+// Decisions returns a copy of the decision log in record order, optionally
+// filtered by phase ("" keeps everything).
+func (t *Tracer) Decisions(phase string) []Decision {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Decision
+	for _, r := range t.decisions {
+		if phase == "" || r.d.Phase == phase {
+			out = append(out, r.d)
+		}
+	}
+	return out
+}
+
+// Count adds d to a named monotonic counter. Safe for concurrent use; counts
+// are order-independent, so concurrent emitters stay deterministic.
+func (t *Tracer) Count(name string, d int64) {
+	if t == nil {
+		return
+	}
+	t.cmu.RLock()
+	c, ok := t.counters[name]
+	t.cmu.RUnlock()
+	if !ok {
+		t.cmu.Lock()
+		c, ok = t.counters[name]
+		if !ok {
+			c = new(int64)
+			t.counters[name] = c
+		}
+		t.cmu.Unlock()
+	}
+	atomic.AddInt64(c, d)
+}
+
+// Counter returns a named counter's current value.
+func (t *Tracer) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.cmu.RLock()
+	defer t.cmu.RUnlock()
+	c, ok := t.counters[name]
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(c)
+}
+
+// Counters returns a copy of all counters.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.cmu.RLock()
+	defer t.cmu.RUnlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, c := range t.counters {
+		out[k] = atomic.LoadInt64(c)
+	}
+	return out
+}
+
+// Spans returns the number of recorded span/instant events (diagnostics).
+func (t *Tracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// snapshot copies the tracer's state for export, sorted canonically:
+// processes by pid, threads by (pid, tid), events by (pid, tid, start, name)
+// with record order as the final tie-break.
+func (t *Tracer) snapshot() ([]string, []thread, map[thread]string, []event, []decisionRec, map[string]int64) {
+	t.mu.Lock()
+	procs := append([]string(nil), t.procNames...)
+	threads := make([]thread, 0, len(t.threads))
+	names := make(map[thread]string, len(t.threads))
+	for th, n := range t.threads {
+		threads = append(threads, th)
+		names[th] = n
+	}
+	events := append([]event(nil), t.events...)
+	decisions := append([]decisionRec(nil), t.decisions...)
+	t.mu.Unlock()
+
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i].pid != threads[j].pid {
+			return threads[i].pid < threads[j].pid
+		}
+		return threads[i].tid < threads[j].tid
+	})
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return a.name < b.name
+	})
+	return procs, threads, names, events, decisions, t.Counters()
+}

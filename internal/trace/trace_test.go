@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerNoops proves the disabled tracer costs one pointer check and
+// zero allocations — the acceptance bar for the always-on tracer fields in
+// the engine's hot paths.
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		pid := tr.Process("optimizer")
+		tr.Thread(pid, 1, "x")
+		tr.Count("c", 1)
+		tr.Span(pid, 1, "cat", "n", 0, time.Millisecond)
+		tr.Instant(pid, 1, "cat", "n", 0)
+		r := tr.Begin(pid, 1, "cat", "n")
+		r.End()
+		tr.Decide(pid, 1, Decision{})
+		_ = tr.Counter("c")
+		_ = tr.Since()
+		_ = tr.Spans()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f times per run, want 0", allocs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil tracer export = %q", buf.String())
+	}
+}
+
+// frozenClock is a clock stuck at a fixed instant, like the scheduler's
+// virtual clock outside WaitUntil.
+func frozenClock() func() time.Time {
+	at := time.Unix(0, 0)
+	return func() time.Time { return at }
+}
+
+// TestChromeExportCanonical proves two tracers recording the same logical
+// history export byte-identical JSON, even when events are recorded in a
+// different interleaving across tracks.
+func TestChromeExportCanonical(t *testing.T) {
+	build := func(reorder bool) []byte {
+		tr := NewWithClock(frozenClock())
+		opt := tr.Process("optimizer")
+		sch := tr.Process("sched")
+		tr.Thread(sch, 1, "subplan 0")
+		tr.Thread(sch, 2, "subplan 1")
+		spans := [][2]int{{1, 10}, {2, 5}}
+		if reorder {
+			spans[0], spans[1] = spans[1], spans[0]
+		}
+		for _, s := range spans {
+			tr.Span(sch, s[0], "exec", "run", time.Duration(s[1])*time.Millisecond, time.Duration(s[1]+3)*time.Millisecond,
+				Arg{"work", int64(s[1])})
+		}
+		tr.Count("cost.evals", 2)
+		tr.Count("cost.memo_hits", 1)
+		tr.Decide(opt, 0, Decision{Phase: "pace.greedy", Step: 1, Subplan: 0, Action: "raise",
+			Score: 0.5, Accepted: true, Candidates: []Candidate{{0, 0.5}, {1, 0.25}}})
+		r := tr.Begin(opt, 0, "opt", "search", Arg{"n", 2})
+		r.End(Arg{"steps", int64(1)})
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(false), build(true)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("export not canonical:\n%s\n--- vs ---\n%s", a, b)
+	}
+	for _, want := range []string{`"process_name"`, `"thread_name"`, `"ph":"X"`, `"ph":"I"`,
+		`"cat":"decision"`, `"cost.evals":2`, `"candidates":"s0=0.5 s1=0.25"`} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Errorf("export missing %s:\n%s", want, a)
+		}
+	}
+}
+
+// TestCounters exercises concurrent-safe counter accumulation.
+func TestCounters(t *testing.T) {
+	tr := New()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				tr.Count("n", 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if got := tr.Counter("n"); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := tr.Counters()["n"]; got != 4000 {
+		t.Fatalf("counters map = %d, want 4000", got)
+	}
+}

@@ -21,6 +21,12 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== trace smoke (-experiment sched -trace)"
+TRACE_OUT="$(mktemp /tmp/ishare-trace.XXXXXX.json)"
+go run ./cmd/ishare -experiment sched -sf 0.02 -trace "$TRACE_OUT" >/dev/null
+go run ./cmd/tracecheck "$TRACE_OUT"
+rm -f "$TRACE_OUT"
+
 if [ "${SKIP_FUZZ:-}" != "1" ]; then
 	echo "== scheduler soak ($SOAKTIME, race)"
 	go test ./internal/sched -race -run TestSchedulerSoak -soaktime "$SOAKTIME"
