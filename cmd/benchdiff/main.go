@@ -1,0 +1,92 @@
+// Command benchdiff compares two benchjson reports and prints a per-
+// benchmark delta table: ns/op, B/op and allocs/op changes from the base
+// report to the new one. It is informational — the exit status is 0 no
+// matter how the numbers moved — because micro-benchmark noise on shared CI
+// runners is too high for a hard gate; the table exists so reviewers can
+// eyeball regressions next to the artifact JSON.
+//
+//	benchdiff BENCH_PR4.json BENCH_PR5.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/benchjson's record.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff BASE.json NEW.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-44s %14s %14s %8s %12s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δns", "allocs/op", "Δallocs")
+	for _, name := range names {
+		n := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14.0f %8s %12d %8s\n",
+				name, "-", n.NsOp, "new", n.AllocsOp, "new")
+			continue
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %8s %12d %8s\n",
+			name, b.NsOp, n.NsOp, pct(b.NsOp, n.NsOp),
+			n.AllocsOp, pct(float64(b.AllocsOp), float64(n.AllocsOp)))
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-44s %14.0f %14s  (dropped)\n", name, base[name].NsOp, "-")
+		}
+	}
+}
+
+// pct renders the relative change from a to b.
+func pct(a, b float64) string {
+	if a == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(b-a)/a)
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
+}

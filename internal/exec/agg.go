@@ -1,12 +1,16 @@
 package exec
 
 import (
-	"ishare/internal/delta"
-	"ishare/internal/mqo"
-	"ishare/internal/plan"
-	"ishare/internal/value"
+	"math/bits"
 	"sort"
 	"strconv"
+
+	"ishare/internal/delta"
+	"ishare/internal/hashtab"
+	"ishare/internal/mqo"
+	"ishare/internal/ordset"
+	"ishare/internal/plan"
+	"ishare/internal/value"
 )
 
 // aggExec is an incremental shared hash aggregate. Groups are hashed once
@@ -18,6 +22,16 @@ import (
 // paper. Retracting the current MIN/MAX extremum forces a rescan of the
 // group's value multiset, whose cost is what makes such queries (Q15)
 // non-incrementable.
+//
+// State layer: the group index is an open-addressing hash table
+// (internal/hashtab) over precomputed key hashes with arena-allocated
+// groups and interned key strings — the per-tuple lookup hashes the group
+// key once and compares raw bytes, never re-encoding a map key. Per-group,
+// per-query accumulators live in dense slices indexed by query slot rather
+// than maps, and all per-execution scratch (the dirty set, emission
+// buffers, comparison encodings) is pooled on the operator and reused
+// across incremental executions.
+//
 // DebugSkipExtremumRescan, when set, makes MIN/MAX accumulators skip the
 // multiset rescan after their current extremum is retracted, leaving a stale
 // extremum behind. It exists solely so the differential-testing harness can
@@ -27,45 +41,93 @@ var DebugSkipExtremumRescan bool
 
 type aggExec struct {
 	op     *mqo.Op
-	groups map[string]*groupState
-	// keyRow, keyBuf and args are per-tuple scratch buffers; group states
+	tab    hashtab.Table
+	arena  hashtab.Arena[groupState]
+	hasher *value.Hasher
+	// queries caches op.Queries.Members(); qslot maps a query id to its
+	// dense slot in per-group accumulator arrays.
+	queries []int
+	qslot   [mqo.MaxQueries]int32
+
+	// gen stamps the current process call; groups whose dirtyGen matches
+	// are already in the dirty list.
+	gen    uint64
+	dirty  []int32
+	sorter dirtySorter
+
+	// Scratch buffers, reused across tuples and executions; group states
 	// clone what they retain.
 	keyRow value.Row
 	keyBuf []byte
 	args   []value.Value
+	outBuf []delta.Tuple
+
+	// groupOutput scratch: cluster rows live in pooled per-index buffers
+	// (clRows) and are cloned only when an emission actually happens.
+	clusters []clustered
+	clKeys   [][]byte
+	clRows   []value.Row
+	rowBuf   value.Row
+	tupBuf   []delta.Tuple
+
+	// sameTuples scratch.
+	cmpA, cmpB [][]byte
+	cmpUsed    []bool
+}
+
+type clustered struct {
+	row  value.Row
+	bits mqo.Bitset
 }
 
 func newAggExec(op *mqo.Op) *aggExec {
-	return &aggExec{op: op, groups: make(map[string]*groupState)}
+	g := &aggExec{
+		op:      op,
+		hasher:  value.NewHasher(),
+		queries: op.Queries.Members(),
+	}
+	for i, q := range g.queries {
+		g.qslot[q] = int32(i)
+	}
+	g.sorter = dirtySorter{g: g}
+	return g
 }
 
+// groupState is one group's state: the interned key, the group-by row, and
+// dense per-query accumulator arrays (indexed by query slot, with naggs
+// accumulators per query, flattened). Groups with equal key hashes chain
+// through next.
 type groupState struct {
-	// key is the group's encoded map key, kept so hot-path re-insertions
-	// into dirty sets need no re-encoding.
+	// key is the group's encoded key, interned once; hot-path lookups
+	// compare these bytes against the scratch encoding without allocating.
 	key      string
+	hash     uint64
+	next     int32
+	dirtyGen uint64
 	keyRow   value.Row
-	perQuery map[int]*queryAcc
-	lastOut  []delta.Tuple
-}
-
-type queryAcc struct {
-	// n counts contributing input tuples; the group exists for the query
-	// while n > 0.
-	n    int64
+	// n counts contributing input tuples per query slot; the group exists
+	// for a query while its count is > 0.
+	n    []int64
 	accs []accum
+	// lastOut is the group's previously emitted output.
+	lastOut []delta.Tuple
 }
 
 type accum struct {
 	count int64
 	sum   float64
-	// vals is the value multiset kept for MIN/MAX retraction.
-	vals  map[float64]int64
+	// vals is the ordered value multiset kept for MIN/MAX retraction:
+	// O(log n) actual maintenance, while the modeled rescan cost charged
+	// to Work.Rescan stays the full multiset scan.
+	vals  *ordset.Multiset
 	cur   float64
 	curOK bool
 }
 
 // update applies one value with the given sign; it returns extra rescan work
-// (the size of the value multiset scanned after an extremum retraction).
+// (the modeled size of the value multiset scanned after an extremum
+// retraction — charged unchanged even though the ordered multiset finds the
+// next extremum in O(log n)).
 func (a *accum) update(spec plan.AggSpec, v value.Value, sign delta.Sign) int64 {
 	s := int64(sign)
 	switch spec.Func {
@@ -86,33 +148,30 @@ func (a *accum) update(spec plan.AggSpec, v value.Value, sign delta.Sign) int64 
 			return 0
 		}
 		if a.vals == nil {
-			a.vals = make(map[float64]int64)
+			a.vals = ordset.New()
 		}
 		f := v.AsFloat()
 		a.count += s
-		a.vals[f] += s
-		if a.vals[f] == 0 {
-			delete(a.vals, f)
-		}
+		cnt := a.vals.Add(f, s)
 		if sign == delta.Insert {
 			if !a.curOK || better(spec.Func, f, a.cur) {
 				a.cur, a.curOK = f, true
 			}
 			return 0
 		}
-		// Deletion: if the current extremum was retracted, rescan.
+		// Deletion: if the current extremum was retracted, charge the
+		// modeled rescan and read the next extremum off the multiset.
 		if DebugSkipExtremumRescan {
 			// Fault injection for the differential harness: keep the stale
 			// extremum, reproducing the classic broken-MIN/MAX-IVM bug.
 			return 0
 		}
-		if a.curOK && f == a.cur && a.vals[f] == 0 {
-			rescan := int64(len(a.vals))
-			a.curOK = false
-			for v2 := range a.vals {
-				if !a.curOK || better(spec.Func, v2, a.cur) {
-					a.cur, a.curOK = v2, true
-				}
+		if a.curOK && f == a.cur && cnt == 0 {
+			rescan := int64(a.vals.Len())
+			if spec.Func == plan.AggMin {
+				a.cur, a.curOK = a.vals.Min()
+			} else {
+				a.cur, a.curOK = a.vals.Max()
 			}
 			return rescan
 		}
@@ -160,34 +219,84 @@ func (a *accum) result(spec plan.AggSpec) value.Value {
 	}
 }
 
+// lookup walks the hash chain for the key encoded in g.keyBuf, returning
+// the group's arena reference or -1.
+func (g *aggExec) lookup(h uint64) int32 {
+	ref, ok := g.tab.Get(h)
+	if !ok {
+		return -1
+	}
+	for ref >= 0 {
+		gs := g.arena.At(ref)
+		if gs.key == string(g.keyBuf) { // compiles without allocating
+			return ref
+		}
+		ref = gs.next
+	}
+	return -1
+}
+
+// deleteGroup unlinks the group from its hash chain and frees it.
+func (g *aggExec) deleteGroup(ref int32) {
+	gs := g.arena.At(ref)
+	head, _ := g.tab.Get(gs.hash)
+	if head == ref {
+		if gs.next >= 0 {
+			g.tab.Put(gs.hash, gs.next)
+		} else {
+			g.tab.Delete(gs.hash)
+		}
+	} else {
+		prev := head
+		for g.arena.At(prev).next != ref {
+			prev = g.arena.At(prev).next
+		}
+		g.arena.At(prev).next = gs.next
+	}
+	g.arena.Free(ref)
+}
+
 func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
-	dirty := make(map[string]*groupState)
+	g.gen++
+	g.dirty = g.dirty[:0]
+	naggs := len(g.op.Aggs)
 
 	for _, t := range in[0] {
 		w.Tuples++
-		bits := t.Bits.Intersect(g.op.Queries)
-		if bits.Empty() {
+		qbits := t.Bits.Intersect(g.op.Queries)
+		if qbits.Empty() {
 			continue
 		}
-		// Group key, built in scratch buffers; the map lookup with
-		// string(keyBuf) does not allocate.
+		// Group key, built in scratch buffers and hashed once; the chain
+		// walk compares interned key bytes without re-encoding.
 		keyRow := g.keyRow[:0]
 		for _, ge := range g.op.GroupBy {
 			keyRow = append(keyRow, ge.E.Eval(t.Row))
 		}
 		g.keyRow = keyRow
 		g.keyBuf = value.AppendKey(g.keyBuf[:0], keyRow)
-		gs, ok := g.groups[string(g.keyBuf)]
-		if !ok {
-			gs = &groupState{
-				key:      string(g.keyBuf),
-				keyRow:   keyRow.Clone(),
-				perQuery: make(map[int]*queryAcc),
+		h := g.hasher.RowHash(keyRow)
+		ref := g.lookup(h)
+		if ref < 0 {
+			ref = g.arena.Alloc()
+			gs := g.arena.At(ref)
+			gs.key = string(g.keyBuf)
+			gs.hash = h
+			gs.next = -1
+			gs.keyRow = keyRow.Clone()
+			gs.n = make([]int64, len(g.queries))
+			gs.accs = make([]accum, len(g.queries)*naggs)
+			if head, ok := g.tab.Get(h); ok {
+				gs.next = head
 			}
-			g.groups[gs.key] = gs
+			g.tab.Put(h, ref)
 		}
-		dirty[gs.key] = gs
+		gs := g.arena.At(ref)
+		if gs.dirtyGen != g.gen {
+			gs.dirtyGen = g.gen
+			g.dirty = append(g.dirty, ref)
+		}
 		// Evaluate aggregate arguments once per tuple.
 		args := g.args[:0]
 		for _, spec := range g.op.Aggs {
@@ -198,81 +307,112 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 			args = append(args, v)
 		}
 		g.args = args
-		for _, q := range bits.Members() {
-			qa, ok := gs.perQuery[q]
-			if !ok {
-				qa = &queryAcc{accs: make([]accum, len(g.op.Aggs))}
-				gs.perQuery[q] = qa
-			}
-			qa.n += int64(t.Sign)
+		for b := uint64(qbits); b != 0; b &^= b & (-b) {
+			q := bits.TrailingZeros64(b)
+			slot := g.qslot[q]
+			gs.n[slot] += int64(t.Sign)
+			base := int(slot) * naggs
 			for i, spec := range g.op.Aggs {
 				w.State++
-				w.Rescan += qa.accs[i].update(spec, args[i], t.Sign)
+				w.Rescan += gs.accs[base+i].update(spec, args[i], t.Sign)
 			}
 		}
 	}
 
 	// Emit retractions and updated rows for every dirty group, in sorted
-	// key order so execution work is deterministic (map iteration order
+	// key order so execution work is deterministic (index iteration order
 	// would otherwise vary the processing order of downstream deletes and
 	// with it the MIN/MAX rescan count).
-	keys := make([]string, 0, len(dirty))
-	for key := range dirty {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	var out []delta.Tuple
-	for _, key := range keys {
-		gs := dirty[key]
+	sort.Sort(&g.sorter)
+	out := g.outBuf[:0]
+	for _, ref := range g.dirty {
+		gs := g.arena.At(ref)
 		newOut := g.groupOutput(gs)
-		if sameTuples(gs.lastOut, newOut) {
+		if g.sameTuples(gs.lastOut, newOut) {
 			continue
 		}
 		for _, t := range gs.lastOut {
 			out = append(out, delta.Tuple{Row: t.Row, Bits: t.Bits, Sign: delta.Delete})
 			w.Output++
 		}
-		for _, t := range newOut {
-			out = append(out, t)
+		// newOut rows alias pooled scratch; clone only now that the group
+		// is known to have changed, since emitted rows are retained
+		// downstream and as lastOut.
+		retained := make([]delta.Tuple, len(newOut))
+		for i, t := range newOut {
+			retained[i] = delta.Tuple{Row: t.Row.Clone(), Bits: t.Bits, Sign: t.Sign}
+			out = append(out, retained[i])
 			w.Output++
 		}
-		gs.lastOut = newOut
-		if len(newOut) == 0 && groupDead(gs) {
-			delete(g.groups, key)
+		gs.lastOut = retained
+		if len(retained) == 0 && groupDead(gs) {
+			g.deleteGroup(ref)
 		}
 	}
+	g.outBuf = out
 	return out, w
 }
 
-// groupOutput computes the group's current output rows: queries with equal
-// aggregate values cluster into one tuple carrying their combined bits.
+// dirtySorter orders the dirty list by interned group key, matching the
+// sorted-map-key emission order of the map-based implementation.
+type dirtySorter struct {
+	g *aggExec
+}
+
+func (s *dirtySorter) Len() int { return len(s.g.dirty) }
+func (s *dirtySorter) Less(i, j int) bool {
+	return s.g.arena.At(s.g.dirty[i]).key < s.g.arena.At(s.g.dirty[j]).key
+}
+func (s *dirtySorter) Swap(i, j int) {
+	d := s.g.dirty
+	d[i], d[j] = d[j], d[i]
+}
+
+// groupOutput computes the group's current output rows into pooled scratch:
+// queries with equal aggregate values cluster into one tuple carrying their
+// combined bits. The returned tuples (and their rows) alias pooled buffers
+// valid until the next call; callers clone what they retain.
 func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
-	type clustered struct {
-		row  value.Row
-		bits mqo.Bitset
-	}
-	var clusters []clustered
-	byKey := make(map[string]int)
-	var keyBuf []byte
-	for _, q := range g.op.Queries.Members() {
-		qa, ok := gs.perQuery[q]
-		if !ok || qa.n <= 0 {
+	clusters := g.clusters[:0]
+	clKeys := g.clKeys
+	clRows := g.clRows
+	naggs := len(g.op.Aggs)
+	for slot, q := range g.queries {
+		if gs.n[slot] <= 0 {
 			continue
 		}
-		row := make(value.Row, 0, len(gs.keyRow)+len(g.op.Aggs))
+		row := g.rowBuf[:0]
 		row = append(row, gs.keyRow...)
+		base := slot * naggs
 		for i, spec := range g.op.Aggs {
-			row = append(row, qa.accs[i].result(spec))
+			row = append(row, gs.accs[base+i].result(spec))
 		}
-		keyBuf = value.AppendKey(keyBuf[:0], row)
-		if idx, ok := byKey[string(keyBuf)]; ok {
-			clusters[idx].bits = clusters[idx].bits.With(q)
+		g.rowBuf = row
+		if len(clKeys) <= len(clusters) {
+			clKeys = append(clKeys, nil)
+			clRows = append(clRows, nil)
+		}
+		buf := value.AppendKey(clKeys[len(clusters)][:0], row)
+		clKeys[len(clusters)] = buf
+		found := -1
+		for ci := range clusters {
+			if string(clKeys[ci]) == string(buf) {
+				found = ci
+				break
+			}
+		}
+		if found >= 0 {
+			clusters[found].bits = clusters[found].bits.With(q)
 			continue
 		}
-		byKey[string(keyBuf)] = len(clusters)
-		clusters = append(clusters, clustered{row: row, bits: mqo.Bit(q)})
+		cr := append(clRows[len(clusters)][:0], row...)
+		clRows[len(clusters)] = cr
+		clusters = append(clusters, clustered{row: cr, bits: mqo.Bit(q)})
 	}
-	var out []delta.Tuple
+	g.clusters = clusters
+	g.clKeys = clKeys
+	g.clRows = clRows
+	out := g.tupBuf[:0]
 	for _, c := range clusters {
 		bits := applyMarkers(g.op, c.row, c.bits)
 		if bits.Empty() {
@@ -280,12 +420,13 @@ func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 		}
 		out = append(out, delta.Tuple{Row: c.row, Bits: bits, Sign: delta.Insert})
 	}
+	g.tupBuf = out
 	return out
 }
 
 func groupDead(gs *groupState) bool {
-	for _, qa := range gs.perQuery {
-		if qa.n > 0 {
+	for _, n := range gs.n {
+		if n > 0 {
 			return false
 		}
 	}
@@ -293,32 +434,49 @@ func groupDead(gs *groupState) bool {
 }
 
 // sameTuples reports whether two emissions contain the same (row, bits)
-// multisets.
-func sameTuples(a, b []delta.Tuple) bool {
+// multisets, comparing pooled key encodings so steady-state executions
+// allocate nothing.
+func (g *aggExec) sameTuples(a, b []delta.Tuple) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	tupleKey := func(buf []byte, t delta.Tuple) []byte {
-		buf = value.AppendKey(buf[:0], t.Row)
-		buf = append(buf, '#')
-		return strconv.AppendUint(buf, uint64(t.Bits), 16)
+	g.cmpA = encodeTuples(g.cmpA, a)
+	g.cmpB = encodeTuples(g.cmpB, b)
+	used := g.cmpUsed[:0]
+	for range a {
+		used = append(used, false)
 	}
-	counts := make(map[string]int, len(a))
-	var buf []byte
-	for _, t := range a {
-		buf = tupleKey(buf, t)
-		counts[string(buf)]++
-	}
-	for _, t := range b {
-		buf = tupleKey(buf, t)
-		c := counts[string(buf)]
-		if c == 0 {
+	g.cmpUsed = used
+	for i := range b {
+		found := false
+		for j := range a {
+			if !used[j] && string(g.cmpB[i]) == string(g.cmpA[j]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
-		counts[string(buf)] = c - 1
 	}
 	return true
 }
 
+// encodeTuples renders each tuple's (row, bits) key into the pooled buffer
+// set dst, reusing per-entry backing arrays.
+func encodeTuples(dst [][]byte, ts []delta.Tuple) [][]byte {
+	for len(dst) < len(ts) {
+		dst = append(dst, nil)
+	}
+	for i, t := range ts {
+		buf := value.AppendKey(dst[i][:0], t.Row)
+		buf = append(buf, '#')
+		buf = strconv.AppendUint(buf, uint64(t.Bits), 16)
+		dst[i] = buf
+	}
+	return dst
+}
+
 // stateSize returns the number of live groups.
-func (g *aggExec) stateSize() int64 { return int64(len(g.groups)) }
+func (g *aggExec) stateSize() int64 { return int64(g.arena.Len()) }

@@ -18,7 +18,7 @@ type harness struct {
 	queries []plan.Query
 }
 
-func newHarness(t *testing.T, sqls map[string]string, order []string) *harness {
+func newHarness(t testing.TB, sqls map[string]string, order []string) *harness {
 	t.Helper()
 	c := catalog.New()
 	add := func(name string, cols ...catalog.Column) {

@@ -3,6 +3,7 @@ package exec
 import (
 	"ishare/internal/delta"
 	"ishare/internal/expr"
+	"ishare/internal/hashtab"
 	"ishare/internal/mqo"
 	"ishare/internal/value"
 )
@@ -20,6 +21,10 @@ import (
 type joinExec struct {
 	op          *mqo.Op
 	left, right *joinSide
+	// outBuf is the pooled emission buffer, reused across incremental
+	// executions; callers consume the returned slice before the next
+	// process call.
+	outBuf []delta.Tuple
 }
 
 func newJoinExec(op *mqo.Op) *joinExec {
@@ -30,11 +35,15 @@ func newJoinExec(op *mqo.Op) *joinExec {
 	}
 }
 
-// joinSide is one side's state.
+// joinSide is one side's state: an open-addressing table from precomputed
+// key hashes to chains of arena-allocated entries. The key is hashed once
+// per delta; probes walk the chain comparing stored keys, so hash-equal
+// buckets behave exactly like the bucket slices they replaced.
 type joinSide struct {
-	keys    []expr.Expr
-	buckets map[uint64][]*joinEntry
-	size    int64
+	keys  []expr.Expr
+	tab   hashtab.Table
+	arena hashtab.Arena[joinEntry]
+	size  int64
 	// keyBuf is the scratch row reused by keyOf; update clones it before an
 	// entry retains the key.
 	keyBuf value.Row
@@ -43,19 +52,20 @@ type joinSide struct {
 
 func newJoinSide(keys []expr.Expr) *joinSide {
 	return &joinSide{
-		keys:    keys,
-		buckets: make(map[uint64][]*joinEntry),
-		keyBuf:  make(value.Row, 0, len(keys)),
-		hasher:  value.NewHasher(),
+		keys:   keys,
+		keyBuf: make(value.Row, 0, len(keys)),
+		hasher: value.NewHasher(),
 	}
 }
 
-// joinEntry is one distinct (row, bits) with a net multiplicity.
+// joinEntry is one distinct (row, bits) with a net multiplicity. Entries
+// with equal key hashes form a chain in arrival order (next, -1 ends it).
 type joinEntry struct {
 	key   value.Row
 	row   value.Row
 	bits  mqo.Bitset
 	count int
+	next  int32
 }
 
 // keyOf evaluates the side's key expressions into the side's scratch buffer.
@@ -77,16 +87,32 @@ func (s *joinSide) keyOf(row value.Row) (value.Row, uint64, bool) {
 
 // update applies a delta to the side's multiset and returns the state work.
 func (s *joinSide) update(t delta.Tuple, key value.Row, h uint64) int64 {
-	bucket := s.buckets[h]
-	for _, e := range bucket {
-		if e.bits == t.Bits && e.row.Equal(t.Row) {
-			e.count += int(t.Sign)
-			if e.count == 0 {
-				s.remove(h, e)
+	if head, ok := s.tab.Get(h); ok {
+		prev := int32(-1)
+		for ref := head; ref >= 0; {
+			e := s.arena.At(ref)
+			if e.bits == t.Bits && e.row.Equal(t.Row) {
+				e.count += int(t.Sign)
+				if e.count == 0 {
+					s.removeEntry(h, prev, ref)
+				}
+				return 1
 			}
-			return 1
+			prev = ref
+			ref = e.next
 		}
+		// No match in the chain: append at the tail (prev), preserving
+		// arrival order for probes.
+		s.arena.At(prev).next = s.newEntry(t, key)
+		return 1
 	}
+	s.tab.Put(h, s.newEntry(t, key))
+	return 1
+}
+
+// newEntry arena-allocates an entry for the delta. key aliases the side's
+// scratch buffer; the retained entry needs its own copy.
+func (s *joinSide) newEntry(t delta.Tuple, key value.Row) int32 {
 	count := 1
 	if t.Sign == delta.Delete {
 		// Deleting a tuple that was never inserted: record a negative
@@ -94,32 +120,53 @@ func (s *joinSide) update(t delta.Tuple, key value.Row, h uint64) int64 {
 		// multiset algebra closed under any delta order.
 		count = -1
 	}
-	// key aliases the side's scratch buffer; the retained entry needs its
-	// own copy.
-	s.buckets[h] = append(bucket, &joinEntry{key: key.Clone(), row: t.Row, bits: t.Bits, count: count})
+	ref := s.arena.Alloc()
+	e := s.arena.At(ref)
+	e.key, e.row, e.bits, e.count, e.next = key.Clone(), t.Row, t.Bits, count, -1
 	s.size++
-	return 1
+	return ref
 }
 
-func (s *joinSide) remove(h uint64, e *joinEntry) {
-	bucket := s.buckets[h]
-	for i, x := range bucket {
-		if x == e {
-			bucket[i] = bucket[len(bucket)-1]
-			s.buckets[h] = bucket[:len(bucket)-1]
-			s.size--
-			if len(s.buckets[h]) == 0 {
-				delete(s.buckets, h)
-			}
-			return
+// removeEntry drops the chain node ref (whose predecessor is prev, -1 for
+// the head). To keep probe order identical to the bucket slices this chain
+// replaced — which removed by swapping the last element into the hole — the
+// tail entry's payload is moved into ref's position and the tail node is
+// freed.
+func (s *joinSide) removeEntry(h uint64, prev, ref int32) {
+	e := s.arena.At(ref)
+	if e.next < 0 {
+		// ref is the tail: unlink it; an emptied chain leaves the table.
+		if prev >= 0 {
+			s.arena.At(prev).next = -1
+		} else {
+			s.tab.Delete(h)
 		}
+		s.arena.Free(ref)
+	} else {
+		tailPrev := ref
+		tail := e.next
+		for s.arena.At(tail).next >= 0 {
+			tailPrev = tail
+			tail = s.arena.At(tail).next
+		}
+		te := s.arena.At(tail)
+		e.key, e.row, e.bits, e.count = te.key, te.row, te.bits, te.count
+		s.arena.At(tailPrev).next = -1
+		s.arena.Free(tail)
 	}
+	s.size--
 }
 
 // probe matches a delta against this side's current state, emitting joined
 // tuples via emit(otherRow, bits, count).
 func (s *joinSide) probe(key value.Row, h uint64, emit func(*joinEntry)) {
-	for _, e := range s.buckets[h] {
+	ref, ok := s.tab.Get(h)
+	if !ok {
+		return
+	}
+	for ref >= 0 {
+		e := s.arena.At(ref)
+		ref = e.next
 		if e.key.Equal(key) {
 			emit(e)
 		}
@@ -128,7 +175,7 @@ func (s *joinSide) probe(key value.Row, h uint64, emit func(*joinEntry)) {
 
 func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
-	var out []delta.Tuple
+	out := j.outBuf[:0]
 
 	// emit filters on bits and multiplicity before allocating the
 	// concatenated row; callers already restrict bits to j.op.Queries.
@@ -188,6 +235,7 @@ func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 			emit(e.row, t.Row, bits.Intersect(e.bits), t.Sign, e.count)
 		})
 	}
+	j.outBuf = out
 	return out, w
 }
 

@@ -42,14 +42,17 @@ func newOperator(op *mqo.Op) operator {
 }
 
 // scanExec stamps base-table deltas with the scan's query set and applies
-// its marker predicates.
+// its marker predicates. outBuf is the pooled emission buffer, reused
+// across incremental executions (downstream buffers copy tuple headers, so
+// only the slice header is recycled).
 type scanExec struct {
-	op *mqo.Op
+	op     *mqo.Op
+	outBuf []delta.Tuple
 }
 
 func (s *scanExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
-	var out []delta.Tuple
+	out := s.outBuf[:0]
 	for _, t := range in[0] {
 		w.Tuples++
 		bits := applyMarkers(s.op, t.Row, s.op.Queries)
@@ -58,18 +61,22 @@ func (s *scanExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		}
 		out = append(out, delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign})
 	}
+	s.outBuf = out
 	w.Output += int64(len(out))
 	return out, w
 }
 
-// projectExec evaluates the projection list per tuple.
+// projectExec evaluates the projection list per tuple; outBuf pools the
+// emission slice as in scanExec (projected rows themselves are fresh — they
+// are retained downstream).
 type projectExec struct {
-	op *mqo.Op
+	op     *mqo.Op
+	outBuf []delta.Tuple
 }
 
 func (p *projectExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
-	var out []delta.Tuple
+	out := p.outBuf[:0]
 	for _, t := range in[0] {
 		w.Tuples++
 		bits := t.Bits.Intersect(p.op.Queries)
@@ -86,6 +93,7 @@ func (p *projectExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		}
 		out = append(out, delta.Tuple{Row: row, Bits: bits, Sign: t.Sign})
 	}
+	p.outBuf = out
 	w.Output += int64(len(out))
 	return out, w
 }

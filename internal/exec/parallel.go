@@ -50,6 +50,17 @@ func (r *Runner) RunParallel(paces []int, workers int) (*Report, error) {
 		depth[s.ID] = d
 	}
 
+	// byDepth and depths are hoisted out of the fraction loop and reset per
+	// group, so wave partitioning allocates once regardless of pace counts.
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	byDepth := make([][]int, maxDepth+1)
+	depths := make([]int, 0, maxDepth+1)
+
 	startTime := time.Now()
 	sameFraction := func(a, b event) bool { return a.j*b.p == b.j*a.p }
 	for start := 0; start < len(events); {
@@ -61,8 +72,10 @@ func (r *Runner) RunParallel(paces []int, workers int) (*Report, error) {
 		r.arriveUpTo(events[start].j, events[start].p)
 		// Partition the group into waves by depth and run each wave
 		// concurrently.
-		byDepth := map[int][]int{}
-		var depths []int
+		for _, d := range depths {
+			byDepth[d] = byDepth[d][:0]
+		}
+		depths = depths[:0]
 		for _, e := range events[start:end] {
 			d := depth[e.sub]
 			if len(byDepth[d]) == 0 {

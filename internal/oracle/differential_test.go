@@ -84,9 +84,9 @@ func TestSchedulerInvariance(t *testing.T) {
 // TestDifferentialMinMax hammers the paper's hard case: MIN/MAX under
 // deletion-heavy streams, where retracting the extremum forces a rescan.
 func TestDifferentialMinMax(t *testing.T) {
-	workloads := 60
+	workloads := 120
 	if !testing.Short() {
-		workloads = 200
+		workloads = 240
 	}
 	genOpts := oracle.DefaultOptions()
 	genOpts.ForceMinMax = true

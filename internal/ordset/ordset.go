@@ -1,0 +1,233 @@
+// Package ordset provides an ordered multiset of float64 values with
+// signed multiplicities, backing the executor's MIN/MAX accumulators.
+// Insert, delete, minimum and maximum are O(log n), so retracting the
+// current extremum costs logarithmic actual CPU — while the engine keeps
+// charging the modeled full-rescan cost (Work.Rescan) the paper's cost
+// model assumes for non-incrementable aggregates.
+//
+// The multiset reproduces the semantics of the map[float64]int64 it
+// replaced: -0.0 and +0.0 are one key; the stored key representation is
+// updated on every touch (as Go maps do for float keys); multiplicities
+// may be driven negative by out-of-order deletions and the key vanishes
+// when its multiplicity returns to zero. The one deliberate divergence is
+// NaN, which the map treated as endlessly many distinct keys and which here
+// is a single key sorting after +Inf (the engine never feeds NaN in
+// practice, and map iteration made the old NaN behavior nondeterministic
+// anyway).
+package ordset
+
+import "math"
+
+// node is one distinct key. Nodes form a treap ordered by rank with
+// max-heap priorities, stored in a slice and linked by indices (-1 = nil).
+type node struct {
+	key         float64
+	rank        uint64
+	prio        uint64
+	count       int64
+	left, right int32
+}
+
+// Multiset is an ordered multiset of float64 keys. The zero value is NOT
+// ready to use; call New.
+type Multiset struct {
+	nodes []node
+	free  []int32
+	root  int32
+}
+
+// New returns an empty multiset.
+func New() *Multiset {
+	return &Multiset{root: -1}
+}
+
+// rankOf maps a float64 to its total-order rank: ascending rank is
+// ascending float order, -0.0 and +0.0 collapse to one rank, and every NaN
+// maps to the maximal rank.
+func rankOf(f float64) uint64 {
+	if f != f {
+		return ^uint64(0)
+	}
+	if f == 0 {
+		f = 0 // collapse -0.0 into +0.0
+	}
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// prioOf derives a deterministic treap priority from a rank (splitmix64
+// finalizer), so identical insertion histories build identical trees.
+func prioOf(rank uint64) uint64 {
+	z := rank + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of distinct keys.
+func (m *Multiset) Len() int {
+	return len(m.nodes) - len(m.free)
+}
+
+// Add adjusts key's multiplicity by delta (±1 in the engine) and returns
+// the resulting multiplicity; 0 means the key was removed. The stored key
+// representation is refreshed on every call, matching Go map float-key
+// semantics.
+func (m *Multiset) Add(key float64, delta int64) int64 {
+	rank := rankOf(key)
+	var out int64
+	m.root, out = m.add(m.root, key, rank, delta)
+	return out
+}
+
+func (m *Multiset) add(ref int32, key float64, rank uint64, delta int64) (int32, int64) {
+	if ref < 0 {
+		nr := m.alloc()
+		n := &m.nodes[nr]
+		n.key, n.rank, n.prio, n.count = key, rank, prioOf(rank), delta
+		n.left, n.right = -1, -1
+		return nr, delta
+	}
+	n := &m.nodes[ref]
+	switch {
+	case rank == n.rank:
+		n.key = key
+		n.count += delta
+		if n.count != 0 {
+			return ref, n.count
+		}
+		return m.remove(ref), 0
+	case rank < n.rank:
+		child, out := m.add(n.left, key, rank, delta)
+		n = &m.nodes[ref] // add may have reallocated the node slice
+		n.left = child
+		// child is -1 when the recursion removed the subtree's last node.
+		if child >= 0 && m.nodes[child].prio > n.prio {
+			return m.rotateRight(ref), out
+		}
+		return ref, out
+	default:
+		child, out := m.add(n.right, key, rank, delta)
+		n = &m.nodes[ref]
+		n.right = child
+		if child >= 0 && m.nodes[child].prio > n.prio {
+			return m.rotateLeft(ref), out
+		}
+		return ref, out
+	}
+}
+
+// remove deletes the (already found) node ref by merging its subtrees and
+// returns the merged root.
+func (m *Multiset) remove(ref int32) int32 {
+	n := m.nodes[ref]
+	m.free = append(m.free, ref)
+	return m.merge(n.left, n.right)
+}
+
+// merge joins two treaps where every rank in a precedes every rank in b.
+func (m *Multiset) merge(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if m.nodes[a].prio > m.nodes[b].prio {
+		m.nodes[a].right = m.merge(m.nodes[a].right, b)
+		return a
+	}
+	m.nodes[b].left = m.merge(a, m.nodes[b].left)
+	return b
+}
+
+func (m *Multiset) rotateRight(ref int32) int32 {
+	l := m.nodes[ref].left
+	m.nodes[ref].left = m.nodes[l].right
+	m.nodes[l].right = ref
+	return l
+}
+
+func (m *Multiset) rotateLeft(ref int32) int32 {
+	r := m.nodes[ref].right
+	m.nodes[ref].right = m.nodes[r].left
+	m.nodes[r].left = ref
+	return r
+}
+
+func (m *Multiset) alloc() int32 {
+	if k := len(m.free); k > 0 {
+		ref := m.free[k-1]
+		m.free = m.free[:k-1]
+		return ref
+	}
+	m.nodes = append(m.nodes, node{})
+	return int32(len(m.nodes) - 1)
+}
+
+// Min returns the smallest key; ok is false when the multiset is empty.
+// Keys with negative multiplicities participate, as they did under the
+// map's full rescan.
+func (m *Multiset) Min() (float64, bool) {
+	if m.root < 0 {
+		return 0, false
+	}
+	ref := m.root
+	for m.nodes[ref].left >= 0 {
+		ref = m.nodes[ref].left
+	}
+	return m.nodes[ref].key, true
+}
+
+// Max returns the largest key; ok is false when the multiset is empty.
+func (m *Multiset) Max() (float64, bool) {
+	if m.root < 0 {
+		return 0, false
+	}
+	ref := m.root
+	for m.nodes[ref].right >= 0 {
+		ref = m.nodes[ref].right
+	}
+	return m.nodes[ref].key, true
+}
+
+// Count returns key's current multiplicity (0 when absent).
+func (m *Multiset) Count(key float64) int64 {
+	rank := rankOf(key)
+	ref := m.root
+	for ref >= 0 {
+		n := &m.nodes[ref]
+		switch {
+		case rank == n.rank:
+			return n.count
+		case rank < n.rank:
+			ref = n.left
+		default:
+			ref = n.right
+		}
+	}
+	return 0
+}
+
+// Ascend visits every (key, count) pair in ascending key order until f
+// returns false.
+func (m *Multiset) Ascend(f func(key float64, count int64) bool) {
+	m.ascend(m.root, f)
+}
+
+func (m *Multiset) ascend(ref int32, f func(key float64, count int64) bool) bool {
+	if ref < 0 {
+		return true
+	}
+	if !m.ascend(m.nodes[ref].left, f) {
+		return false
+	}
+	n := m.nodes[ref]
+	if !f(n.key, n.count) {
+		return false
+	}
+	return m.ascend(n.right, f)
+}

@@ -1,0 +1,196 @@
+package ordset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refMultiset is the sorted-slice reference: (key, count) pairs kept in
+// ascending key order with the same key semantics as Multiset (±0.0 one
+// key, representation updated on touch, removal at count zero).
+type refMultiset struct {
+	keys   []float64
+	counts []int64
+}
+
+func (r *refMultiset) find(key float64) (int, bool) {
+	rank := rankOf(key)
+	i := sort.Search(len(r.keys), func(i int) bool { return rankOf(r.keys[i]) >= rank })
+	return i, i < len(r.keys) && rankOf(r.keys[i]) == rank
+}
+
+func (r *refMultiset) add(key float64, delta int64) int64 {
+	i, ok := r.find(key)
+	if !ok {
+		r.keys = append(r.keys, 0)
+		copy(r.keys[i+1:], r.keys[i:])
+		r.keys[i] = key
+		r.counts = append(r.counts, 0)
+		copy(r.counts[i+1:], r.counts[i:])
+		r.counts[i] = delta
+		return delta
+	}
+	r.keys[i] = key
+	r.counts[i] += delta
+	if r.counts[i] != 0 {
+		return r.counts[i]
+	}
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	r.counts = append(r.counts[:i], r.counts[i+1:]...)
+	return 0
+}
+
+// TestMultisetMatchesReference drives Multiset and the sorted-slice
+// reference through identical random streams: duplicate-heavy small
+// domains, ±0.0, negative multiplicities from out-of-order deletes, and
+// interleaved Min/Max/Count/Len probes.
+func TestMultisetMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		var ref refMultiset
+		// Domains alternate between tiny (heavy duplication) and wide.
+		var pool []float64
+		if seed%2 == 0 {
+			pool = []float64{math.Copysign(0, -1), 0, 0.5, 1, 1.5, 2, 3}
+		} else {
+			pool = make([]float64, 200)
+			for i := range pool {
+				pool[i] = math.Trunc(rng.Float64()*1024) / 8 // dyadic
+			}
+			pool = append(pool, math.Inf(1), math.Inf(-1), math.Copysign(0, -1))
+		}
+		for step := 0; step < 3000; step++ {
+			key := pool[rng.Intn(len(pool))]
+			delta := int64(1)
+			if rng.Intn(2) == 0 {
+				delta = -1
+			}
+			got := m.Add(key, delta)
+			want := ref.add(key, delta)
+			if got != want {
+				t.Fatalf("seed %d step %d: Add(%v,%d) = %d, want %d", seed, step, key, delta, got, want)
+			}
+			if m.Len() != len(ref.keys) {
+				t.Fatalf("seed %d step %d: Len = %d, want %d", seed, step, m.Len(), len(ref.keys))
+			}
+			if mn, ok := m.Min(); ok != (len(ref.keys) > 0) || (ok && !sameFloat(mn, ref.keys[0])) {
+				t.Fatalf("seed %d step %d: Min = (%v,%v), want %v", seed, step, mn, ok, ref.keys)
+			}
+			if mx, ok := m.Max(); ok != (len(ref.keys) > 0) || (ok && !sameFloat(mx, ref.keys[len(ref.keys)-1])) {
+				t.Fatalf("seed %d step %d: Max = (%v,%v), want %v", seed, step, mx, ok, ref.keys)
+			}
+			if step%17 == 0 {
+				probe := pool[rng.Intn(len(pool))]
+				gc := m.Count(probe)
+				var wc int64
+				if i, ok := ref.find(probe); ok {
+					wc = ref.counts[i]
+				}
+				if gc != wc {
+					t.Fatalf("seed %d step %d: Count(%v) = %d, want %d", seed, step, probe, gc, wc)
+				}
+			}
+		}
+		// Full in-order walk must match the reference exactly, including
+		// stored key representations.
+		var gotKeys []float64
+		var gotCounts []int64
+		m.Ascend(func(k float64, c int64) bool {
+			gotKeys = append(gotKeys, k)
+			gotCounts = append(gotCounts, c)
+			return true
+		})
+		if len(gotKeys) != len(ref.keys) {
+			t.Fatalf("seed %d: walk has %d keys, want %d", seed, len(gotKeys), len(ref.keys))
+		}
+		for i := range gotKeys {
+			if !sameFloat(gotKeys[i], ref.keys[i]) || gotCounts[i] != ref.counts[i] {
+				t.Fatalf("seed %d: walk[%d] = (%v,%d), want (%v,%d)",
+					seed, i, gotKeys[i], gotCounts[i], ref.keys[i], ref.counts[i])
+			}
+		}
+	}
+}
+
+// sameFloat compares representations, distinguishing -0.0 from +0.0: the
+// stored key must be the exact last-touched representation.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestZeroSignSemantics pins the map-equivalent ±0.0 behavior: one key,
+// representation follows the last touch.
+func TestZeroSignSemantics(t *testing.T) {
+	m := New()
+	neg := math.Copysign(0, -1)
+	if got := m.Add(neg, 1); got != 1 {
+		t.Fatalf("Add(-0) = %d", got)
+	}
+	if got := m.Add(0, 1); got != 2 {
+		t.Fatalf("Add(+0) after -0 = %d, want 2 (same key)", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if mn, _ := m.Min(); !sameFloat(mn, 0) {
+		t.Fatalf("Min = %v, want +0 (last-touched representation)", mn)
+	}
+	if got := m.Add(neg, -1); got != 1 {
+		t.Fatalf("remove one zero = %d", got)
+	}
+	if mn, _ := m.Min(); !sameFloat(mn, neg) {
+		t.Fatalf("Min = %v, want -0 after -0 touch", mn)
+	}
+	if got := m.Add(0, -1); got != 0 {
+		t.Fatalf("remove last zero = %d", got)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+// TestNegativeMultiplicity pins delete-before-insert: the key exists with
+// count -1 (visible to Min/Max) and cancels against a later insert.
+func TestNegativeMultiplicity(t *testing.T) {
+	m := New()
+	if got := m.Add(5, -1); got != -1 {
+		t.Fatalf("Add(5,-1) = %d", got)
+	}
+	if mn, ok := m.Min(); !ok || mn != 5 {
+		t.Fatalf("Min = (%v,%v), want (5,true): negative keys participate", mn, ok)
+	}
+	if got := m.Add(5, 1); got != 0 {
+		t.Fatalf("cancelling insert = %d, want 0", got)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+// TestAscendingInsertDepth guards the treap against degenerating on sorted
+// input: after 1<<14 ascending inserts, Min/Max and a delete-heavy
+// retraction sweep must complete without stack growth trouble (a
+// linked-list-shaped tree would recurse 16k deep in add).
+func TestAscendingInsertDepth(t *testing.T) {
+	m := New()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		m.Add(float64(i), 1)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := m.Add(float64(i), -1); got != 0 {
+			t.Fatalf("delete %d left count %d", i, got)
+		}
+		if i > 0 {
+			if mx, _ := m.Max(); mx != float64(i-1) {
+				t.Fatalf("Max after deleting %d = %v", i, mx)
+			}
+		}
+	}
+}

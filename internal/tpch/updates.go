@@ -2,6 +2,7 @@ package tpch
 
 import (
 	"math/rand"
+	"sort"
 
 	"ishare/internal/delta"
 	"ishare/internal/exec"
@@ -21,7 +22,16 @@ func GenerateWithUpdates(sf float64, seed int64, updateFrac float64) exec.DeltaD
 	out := make(exec.DeltaDataset, len(base))
 	allBits := mqo.Bitset(^uint64(0))
 
-	for name, rows := range base {
+	// Tables are processed in sorted name order: the rng is shared across
+	// tables, so map iteration order would otherwise make the generated
+	// stream differ between runs for the same (sf, seed, updateFrac).
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := base[name]
 		tuples := make([]delta.Tuple, 0, len(rows))
 		updatable := updateFrac > 0 && isFactTable(name)
 		for i, row := range rows {

@@ -27,6 +27,16 @@ go run ./cmd/ishare -experiment sched -sf 0.02 -trace "$TRACE_OUT" >/dev/null
 go run ./cmd/tracecheck "$TRACE_OUT"
 rm -f "$TRACE_OUT"
 
+# Informational benchmark diff: when both the frozen baseline and a current
+# bench-json report exist, print the per-benchmark deltas. Never fails the
+# gate — CI-runner noise is too high for a hard perf gate.
+if [ -f BENCH_PR4.json ] && [ -f BENCH_PR5.json ]; then
+	echo "== bench-diff (informational)"
+	go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json || true
+else
+	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR5.json)"
+fi
+
 if [ "${SKIP_FUZZ:-}" != "1" ]; then
 	echo "== scheduler soak ($SOAKTIME, race)"
 	go test ./internal/sched -race -run TestSchedulerSoak -soaktime "$SOAKTIME"
