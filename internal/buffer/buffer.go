@@ -41,20 +41,22 @@ func (l *Log) Len() int {
 	return len(l.tuples)
 }
 
-// Slice copies out tuples [from, to). It panics if the range is invalid so
-// offset bugs surface immediately.
+// Slice returns a read-only view of tuples [from, to). The log is
+// append-only and logged tuples are immutable, so the view stays valid (and
+// allocation-free) under concurrent appends: the capacity clamp keeps later
+// appends — which either write past to or relocate the log's storage —
+// outside the view. Callers must not write through it. Slice panics if the
+// range is invalid so offset bugs surface immediately.
 func (l *Log) Slice(from, to int) []delta.Tuple {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if from < 0 || to < from || to > len(l.tuples) {
 		panic(fmt.Sprintf("buffer %s: bad slice [%d,%d) of %d", l.name, from, to, len(l.tuples)))
 	}
-	out := make([]delta.Tuple, to-from)
-	copy(out, l.tuples[from:to])
-	return out
+	return l.tuples[from:to:to]
 }
 
-// All copies out every tuple written so far.
+// All returns a read-only view of every tuple written so far.
 func (l *Log) All() []delta.Tuple {
 	return l.Slice(0, l.Len())
 }

@@ -43,6 +43,36 @@ func (t Tuple) String() string {
 	return fmt.Sprintf("%s%s%s", t.Sign, t.Bits, t.Row)
 }
 
+// Chunks iterates a delta stream in windows of at most size tuples,
+// preserving order — the executor's chunked delta iteration. A size < 1
+// yields the whole stream as one window. Windows alias the input slice;
+// no tuples are copied.
+type Chunks struct {
+	ts   []Tuple
+	size int
+}
+
+// NewChunks returns an iterator over ts in windows of size.
+func NewChunks(ts []Tuple, size int) Chunks {
+	if size < 1 {
+		size = len(ts)
+	}
+	return Chunks{ts: ts, size: size}
+}
+
+// Next returns the next window, or ok=false when the stream is exhausted.
+func (c *Chunks) Next() (win []Tuple, ok bool) {
+	if len(c.ts) == 0 {
+		return nil, false
+	}
+	n := c.size
+	if n > len(c.ts) {
+		n = len(c.ts)
+	}
+	win, c.ts = c.ts[:n], c.ts[n:]
+	return win, true
+}
+
 // Apply folds a stream of deltas into a multiset of rows, returning the net
 // row counts keyed by value.Key. It is the reference semantics used to
 // check that incremental execution converges to batch results.

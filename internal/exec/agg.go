@@ -3,7 +3,6 @@ package exec
 import (
 	"math/bits"
 	"sort"
-	"strconv"
 
 	"ishare/internal/delta"
 	"ishare/internal/hashtab"
@@ -11,6 +10,7 @@ import (
 	"ishare/internal/ordset"
 	"ishare/internal/plan"
 	"ishare/internal/value"
+	"ishare/internal/vec"
 )
 
 // aggExec is an incremental shared hash aggregate. Groups are hashed once
@@ -25,12 +25,15 @@ import (
 //
 // State layer: the group index is an open-addressing hash table
 // (internal/hashtab) over precomputed key hashes with arena-allocated
-// groups and interned key strings — the per-tuple lookup hashes the group
-// key once and compares raw bytes, never re-encoding a map key. Per-group,
-// per-query accumulators live in dense slices indexed by query slot rather
-// than maps, and all per-execution scratch (the dirty set, emission
-// buffers, comparison encodings) is pooled on the operator and reused
-// across incremental executions.
+// groups. Input is processed in chunks: group-by and argument expressions
+// evaluate column-at-a-time and the whole key column set is hashed in one
+// pass; the per-tuple remainder is a chain walk comparing key rows under
+// grouping-key semantics (value.RowKeyEqual — the same equivalence as the
+// AppendKey encoding) and a dense-slice accumulator update. Keys are encoded
+// to bytes only when a group is created (the encoding orders emission), and
+// interned so delete-then-reinsert churn reuses the string. All
+// per-execution scratch (the dirty set, emission buffers) is pooled on the
+// operator and reused across incremental executions.
 //
 // DebugSkipExtremumRescan, when set, makes MIN/MAX accumulators skip the
 // multiset rescan after their current extremum is retracted, leaving a stale
@@ -41,13 +44,20 @@ var DebugSkipExtremumRescan bool
 
 type aggExec struct {
 	op     *mqo.Op
+	batch  int
 	tab    hashtab.Table
 	arena  hashtab.Arena[groupState]
 	hasher *value.Hasher
+	intern vec.Interner
 	// queries caches op.Queries.Members(); qslot maps a query id to its
 	// dense slot in per-group accumulator arrays.
 	queries []int
 	qslot   [mqo.MaxQueries]int32
+
+	// Compiled group-by and aggregate-argument expressions; argEvs[i] is nil
+	// for argument-less aggregates (COUNT(*)).
+	gbEvs  []*vec.Eval
+	argEvs []*vec.Eval
 
 	// gen stamps the current process call; groups whose dirtyGen matches
 	// are already in the dirty list.
@@ -55,24 +65,35 @@ type aggExec struct {
 	dirty  []int32
 	sorter dirtySorter
 
-	// Scratch buffers, reused across tuples and executions; group states
+	// Scratch buffers, reused across chunks and executions; group states
 	// clone what they retain.
+	ch     vec.Chunk
+	gbCols [][]value.Value
+	args   [][]value.Value
+	hashes []uint64
 	keyRow value.Row
 	keyBuf []byte
-	args   []value.Value
 	outBuf []delta.Tuple
 
 	// groupOutput scratch: cluster rows live in pooled per-index buffers
 	// (clRows) and are cloned only when an emission actually happens.
 	clusters []clustered
-	clKeys   [][]byte
 	clRows   []value.Row
 	rowBuf   value.Row
 	tupBuf   []delta.Tuple
 
 	// sameTuples scratch.
-	cmpA, cmpB [][]byte
-	cmpUsed    []bool
+	cmpUsed []bool
+
+	// Slab arenas for retained group state and emissions: key rows, dense
+	// counter/accumulator arrays and emitted output rows are carved from
+	// slabs instead of allocated per group. The arenas only reference their
+	// current slab, so state freed by group churn is collected slab-by-slab.
+	keyArena vec.RowArena
+	rowArena vec.RowArena
+	nArena   vec.SlabArena[int64]
+	accArena vec.SlabArena[accum]
+	tupArena vec.SlabArena[delta.Tuple]
 }
 
 type clustered struct {
@@ -80,11 +101,24 @@ type clustered struct {
 	bits mqo.Bitset
 }
 
-func newAggExec(op *mqo.Op) *aggExec {
+func newAggExec(op *mqo.Op, batch int) *aggExec {
 	g := &aggExec{
 		op:      op,
+		batch:   batch,
 		hasher:  value.NewHasher(),
 		queries: op.Queries.Members(),
+		gbEvs:   make([]*vec.Eval, len(op.GroupBy)),
+		argEvs:  make([]*vec.Eval, len(op.Aggs)),
+		gbCols:  make([][]value.Value, len(op.GroupBy)),
+		args:    make([][]value.Value, len(op.Aggs)),
+	}
+	for i, ge := range op.GroupBy {
+		g.gbEvs[i] = vec.Compile(ge.E)
+	}
+	for i, spec := range op.Aggs {
+		if spec.Arg != nil {
+			g.argEvs[i] = vec.Compile(spec.Arg)
+		}
 	}
 	for i, q := range g.queries {
 		g.qslot[q] = int32(i)
@@ -93,13 +127,11 @@ func newAggExec(op *mqo.Op) *aggExec {
 	return g
 }
 
-// groupState is one group's state: the interned key, the group-by row, and
-// dense per-query accumulator arrays (indexed by query slot, with naggs
-// accumulators per query, flattened). Groups with equal key hashes chain
-// through next.
+// groupState is one group's state: the interned encoded key (which orders
+// emission), the group-by row, and dense per-query accumulator arrays
+// (indexed by query slot, with naggs accumulators per query, flattened).
+// Groups with equal key hashes chain through next.
 type groupState struct {
-	// key is the group's encoded key, interned once; hot-path lookups
-	// compare these bytes against the scratch encoding without allocating.
 	key      string
 	hash     uint64
 	next     int32
@@ -219,16 +251,17 @@ func (a *accum) result(spec plan.AggSpec) value.Value {
 	}
 }
 
-// lookup walks the hash chain for the key encoded in g.keyBuf, returning
-// the group's arena reference or -1.
-func (g *aggExec) lookup(h uint64) int32 {
+// lookup walks the hash chain for keyRow, returning the group's arena
+// reference or -1. Chain members are disambiguated by comparing key rows
+// under grouping-key semantics; no key bytes are materialized.
+func (g *aggExec) lookup(h uint64, keyRow value.Row) int32 {
 	ref, ok := g.tab.Get(h)
 	if !ok {
 		return -1
 	}
 	for ref >= 0 {
 		gs := g.arena.At(ref)
-		if gs.key == string(g.keyBuf) { // compiles without allocating
+		if value.RowKeyEqual(gs.keyRow, keyRow) {
 			return ref
 		}
 		ref = gs.next
@@ -262,59 +295,77 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	g.dirty = g.dirty[:0]
 	naggs := len(g.op.Aggs)
 
-	for _, t := range in[0] {
-		w.Tuples++
-		qbits := t.Bits.Intersect(g.op.Queries)
-		if qbits.Empty() {
+	it := delta.NewChunks(in[0], g.batch)
+	for tup, ok := it.Next(); ok; tup, ok = it.Next() {
+		w.Tuples += int64(len(tup))
+		ch := &g.ch
+		ch.Reset(tup)
+		ch.InitBits(g.op.Queries, true)
+		ch.NarrowNonEmpty()
+		if len(ch.Sel) == 0 {
 			continue
 		}
-		// Group key, built in scratch buffers and hashed once; the chain
-		// walk compares interned key bytes without re-encoding.
-		keyRow := g.keyRow[:0]
-		for _, ge := range g.op.GroupBy {
-			keyRow = append(keyRow, ge.E.Eval(t.Row))
+		// Group keys and aggregate arguments, column-at-a-time; the whole
+		// key column set is hashed in one pass.
+		for c, ev := range g.gbEvs {
+			g.gbCols[c] = ev.Values(ch, ch.Sel)
 		}
-		g.keyRow = keyRow
-		g.keyBuf = value.AppendKey(g.keyBuf[:0], keyRow)
-		h := g.hasher.RowHash(keyRow)
-		ref := g.lookup(h)
-		if ref < 0 {
-			ref = g.arena.Alloc()
+		for a, ev := range g.argEvs {
+			if ev != nil {
+				g.args[a] = ev.Values(ch, ch.Sel)
+			}
+		}
+		if cap(g.hashes) < len(tup) {
+			g.hashes = make([]uint64, len(tup))
+		}
+		hashes := g.hashes[:len(tup)]
+		g.hasher.HashCols(g.gbCols, ch.Sel, hashes)
+		for _, i := range ch.Sel {
+			keyRow := g.keyRow[:0]
+			for _, col := range g.gbCols {
+				keyRow = append(keyRow, col[i])
+			}
+			g.keyRow = keyRow
+			h := hashes[i]
+			ref := g.lookup(h, keyRow)
+			if ref < 0 {
+				ref = g.arena.Alloc()
+				gs := g.arena.At(ref)
+				// The encoded key is materialized only here, on group
+				// creation; interning lets a recreated group reuse it.
+				g.keyBuf = value.AppendKey(g.keyBuf[:0], keyRow)
+				gs.key = g.intern.Intern(g.keyBuf)
+				gs.hash = h
+				gs.next = -1
+				kr := g.keyArena.NewRow(len(keyRow))
+				copy(kr, keyRow)
+				gs.keyRow = kr
+				gs.n = g.nArena.New(len(g.queries))
+				gs.accs = g.accArena.New(len(g.queries) * naggs)
+				if head, ok := g.tab.Get(h); ok {
+					gs.next = head
+				}
+				g.tab.Put(h, ref)
+			}
 			gs := g.arena.At(ref)
-			gs.key = string(g.keyBuf)
-			gs.hash = h
-			gs.next = -1
-			gs.keyRow = keyRow.Clone()
-			gs.n = make([]int64, len(g.queries))
-			gs.accs = make([]accum, len(g.queries)*naggs)
-			if head, ok := g.tab.Get(h); ok {
-				gs.next = head
+			if gs.dirtyGen != g.gen {
+				gs.dirtyGen = g.gen
+				g.dirty = append(g.dirty, ref)
 			}
-			g.tab.Put(h, ref)
-		}
-		gs := g.arena.At(ref)
-		if gs.dirtyGen != g.gen {
-			gs.dirtyGen = g.gen
-			g.dirty = append(g.dirty, ref)
-		}
-		// Evaluate aggregate arguments once per tuple.
-		args := g.args[:0]
-		for _, spec := range g.op.Aggs {
-			var v value.Value
-			if spec.Arg != nil {
-				v = spec.Arg.Eval(t.Row)
-			}
-			args = append(args, v)
-		}
-		g.args = args
-		for b := uint64(qbits); b != 0; b &^= b & (-b) {
-			q := bits.TrailingZeros64(b)
-			slot := g.qslot[q]
-			gs.n[slot] += int64(t.Sign)
-			base := int(slot) * naggs
-			for i, spec := range g.op.Aggs {
-				w.State++
-				w.Rescan += gs.accs[base+i].update(spec, args[i], t.Sign)
+			sign := tup[i].Sign
+			for b := uint64(ch.Bits[i]); b != 0; b &^= b & (-b) {
+				q := bits.TrailingZeros64(b)
+				slot := g.qslot[q]
+				gs.n[slot] += int64(sign)
+				base := int(slot) * naggs
+				for k, spec := range g.op.Aggs {
+					var v value.Value
+					if g.argEvs[k] != nil {
+						v = g.args[k][i]
+					}
+					w.State++
+					w.Rescan += gs.accs[base+k].update(spec, v, sign)
+				}
 			}
 		}
 	}
@@ -335,13 +386,20 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 			out = append(out, delta.Tuple{Row: t.Row, Bits: t.Bits, Sign: delta.Delete})
 			w.Output++
 		}
-		// newOut rows alias pooled scratch; clone only now that the group
-		// is known to have changed, since emitted rows are retained
-		// downstream and as lastOut.
-		retained := make([]delta.Tuple, len(newOut))
-		for i, t := range newOut {
-			retained[i] = delta.Tuple{Row: t.Row.Clone(), Bits: t.Bits, Sign: t.Sign}
-			out = append(out, retained[i])
+		// newOut rows alias pooled scratch; copy only now that the group is
+		// known to have changed, since emitted rows are retained downstream
+		// and as lastOut. The replaced lastOut's backing is reused (its
+		// tuples were copied into out above); rows are carved from the
+		// emission arena.
+		retained := gs.lastOut[:0]
+		if cap(retained) < len(newOut) {
+			retained = g.tupArena.New(len(newOut))[:0]
+		}
+		for _, t := range newOut {
+			row := g.rowArena.NewRow(len(t.Row))
+			copy(row, t.Row)
+			retained = append(retained, delta.Tuple{Row: row, Bits: t.Bits, Sign: t.Sign})
+			out = append(out, retained[len(retained)-1])
 			w.Output++
 		}
 		gs.lastOut = retained
@@ -369,12 +427,12 @@ func (s *dirtySorter) Swap(i, j int) {
 }
 
 // groupOutput computes the group's current output rows into pooled scratch:
-// queries with equal aggregate values cluster into one tuple carrying their
-// combined bits. The returned tuples (and their rows) alias pooled buffers
-// valid until the next call; callers clone what they retain.
+// queries with equal aggregate values (grouping-key equality) cluster into
+// one tuple carrying their combined bits. The returned tuples (and their
+// rows) alias pooled buffers valid until the next call; callers clone what
+// they retain.
 func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 	clusters := g.clusters[:0]
-	clKeys := g.clKeys
 	clRows := g.clRows
 	naggs := len(g.op.Aggs)
 	for slot, q := range g.queries {
@@ -388,15 +446,9 @@ func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 			row = append(row, gs.accs[base+i].result(spec))
 		}
 		g.rowBuf = row
-		if len(clKeys) <= len(clusters) {
-			clKeys = append(clKeys, nil)
-			clRows = append(clRows, nil)
-		}
-		buf := value.AppendKey(clKeys[len(clusters)][:0], row)
-		clKeys[len(clusters)] = buf
 		found := -1
 		for ci := range clusters {
-			if string(clKeys[ci]) == string(buf) {
+			if value.RowKeyEqual(clusters[ci].row, row) {
 				found = ci
 				break
 			}
@@ -405,12 +457,14 @@ func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 			clusters[found].bits = clusters[found].bits.With(q)
 			continue
 		}
+		if len(clRows) <= len(clusters) {
+			clRows = append(clRows, nil)
+		}
 		cr := append(clRows[len(clusters)][:0], row...)
 		clRows[len(clusters)] = cr
 		clusters = append(clusters, clustered{row: cr, bits: mqo.Bit(q)})
 	}
 	g.clusters = clusters
-	g.clKeys = clKeys
 	g.clRows = clRows
 	out := g.tupBuf[:0]
 	for _, c := range clusters {
@@ -434,14 +488,12 @@ func groupDead(gs *groupState) bool {
 }
 
 // sameTuples reports whether two emissions contain the same (row, bits)
-// multisets, comparing pooled key encodings so steady-state executions
+// multisets under grouping-key row equality; steady-state executions
 // allocate nothing.
 func (g *aggExec) sameTuples(a, b []delta.Tuple) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	g.cmpA = encodeTuples(g.cmpA, a)
-	g.cmpB = encodeTuples(g.cmpB, b)
 	used := g.cmpUsed[:0]
 	for range a {
 		used = append(used, false)
@@ -450,7 +502,7 @@ func (g *aggExec) sameTuples(a, b []delta.Tuple) bool {
 	for i := range b {
 		found := false
 		for j := range a {
-			if !used[j] && string(g.cmpB[i]) == string(g.cmpA[j]) {
+			if !used[j] && a[j].Bits == b[i].Bits && value.RowKeyEqual(a[j].Row, b[i].Row) {
 				used[j] = true
 				found = true
 				break
@@ -461,21 +513,6 @@ func (g *aggExec) sameTuples(a, b []delta.Tuple) bool {
 		}
 	}
 	return true
-}
-
-// encodeTuples renders each tuple's (row, bits) key into the pooled buffer
-// set dst, reusing per-entry backing arrays.
-func encodeTuples(dst [][]byte, ts []delta.Tuple) [][]byte {
-	for len(dst) < len(ts) {
-		dst = append(dst, nil)
-	}
-	for i, t := range ts {
-		buf := value.AppendKey(dst[i][:0], t.Row)
-		buf = append(buf, '#')
-		buf = strconv.AppendUint(buf, uint64(t.Bits), 16)
-		dst[i] = buf
-	}
-	return dst
 }
 
 // stateSize returns the number of live groups.

@@ -6,6 +6,7 @@ import (
 	"ishare/internal/hashtab"
 	"ishare/internal/mqo"
 	"ishare/internal/value"
+	"ishare/internal/vec"
 )
 
 // joinExec is a symmetric hash join over delta streams. Both sides keep a
@@ -18,81 +19,126 @@ import (
 // (positive) multiplicity, and output bits the intersection of both sides'
 // bits restricted to the operator's query set. An empty key list is a cross
 // join: every tuple lands in one bucket.
+//
+// Execution is chunked: each phase evaluates a chunk's key expressions
+// column-at-a-time, hashes the whole key column set in one pass, and resolves
+// every probe against the other side's table in one batch — legal because the
+// probed side's state is immutable within a phase. State updates, chain walks
+// and emissions then run in input order, so the delta algebra (and the
+// modeled work) is identical to tuple-at-a-time execution.
 type joinExec struct {
 	op          *mqo.Op
+	batch       int
+	markers     []marker
 	left, right *joinSide
+	// Pending emissions for the current chunk: markers run over the whole
+	// candidate set at once, then survivors are appended (with multiplicity)
+	// in probe order.
+	cand     []delta.Tuple
+	candMult []int
+	candCh   vec.Chunk
+	// arena carves the concatenated output rows; emitted rows are retained
+	// downstream and never rewritten.
+	arena vec.RowArena
 	// outBuf is the pooled emission buffer, reused across incremental
 	// executions; callers consume the returned slice before the next
 	// process call.
 	outBuf []delta.Tuple
 }
 
-func newJoinExec(op *mqo.Op) *joinExec {
+func newJoinExec(op *mqo.Op, batch int) *joinExec {
 	return &joinExec{
-		op:    op,
-		left:  newJoinSide(op.LeftKeys),
-		right: newJoinSide(op.RightKeys),
+		op:      op,
+		batch:   batch,
+		markers: compileMarkers(op),
+		left:    newJoinSide(op.LeftKeys),
+		right:   newJoinSide(op.RightKeys),
 	}
 }
 
 // joinSide is one side's state: an open-addressing table from precomputed
 // key hashes to chains of arena-allocated entries. The key is hashed once
-// per delta; probes walk the chain comparing stored keys, so hash-equal
-// buckets behave exactly like the bucket slices they replaced.
+// per delta; probes walk the chain re-deriving each entry's key from its
+// stored row (keyAt), so hash-equal buckets behave exactly like the bucket
+// slices they replaced without entries materializing their keys.
 type joinSide struct {
-	keys  []expr.Expr
-	tab   hashtab.Table
-	arena hashtab.Arena[joinEntry]
-	size  int64
-	// keyBuf is the scratch row reused by keyOf; update clones it before an
-	// entry retains the key.
+	keys []expr.Expr
+	kevs []*vec.Eval
+	// keyIdx[c] is the column index when key c is a bare column reference —
+	// the common case, letting keyAt read the stored row directly — or -1
+	// for a computed key, re-evaluated per probe comparison.
+	keyIdx []int
+	tab    hashtab.Table
+	arena  hashtab.Arena[joinEntry]
+	size   int64
+	// keyBuf is the scratch row holding the current probe tuple's key.
 	keyBuf value.Row
 	hasher *value.Hasher
+	// Per-chunk scratch: key column vectors, key hashes, and the other
+	// side's chain heads for each probe.
+	ch      vec.Chunk
+	keyCols [][]value.Value
+	hashes  []uint64
+	refs    []int32
 }
 
 func newJoinSide(keys []expr.Expr) *joinSide {
-	return &joinSide{
-		keys:   keys,
-		keyBuf: make(value.Row, 0, len(keys)),
-		hasher: value.NewHasher(),
+	s := &joinSide{
+		keys:    keys,
+		kevs:    vec.CompileAll(keys),
+		keyIdx:  make([]int, len(keys)),
+		keyCols: make([][]value.Value, len(keys)),
+		keyBuf:  make(value.Row, 0, len(keys)),
+		hasher:  value.NewHasher(),
 	}
+	for c, k := range keys {
+		s.keyIdx[c] = -1
+		if col, ok := k.(*expr.Column); ok {
+			s.keyIdx[c] = col.Index
+		}
+	}
+	return s
 }
 
 // joinEntry is one distinct (row, bits) with a net multiplicity. Entries
 // with equal key hashes form a chain in arrival order (next, -1 ends it).
+// The entry's join key is not stored: it is a pure function of row (keyAt),
+// and the chain already groups entries by full 64-bit key hash.
 type joinEntry struct {
-	key   value.Row
 	row   value.Row
 	bits  mqo.Bitset
-	count int
+	count int32
 	next  int32
 }
 
-// keyOf evaluates the side's key expressions into the side's scratch buffer.
-// ok is false when any key value is NULL (NULL never equi-joins). The
-// returned row is only valid until the next keyOf call on this side; update
-// clones it before retaining it in an entry.
-func (s *joinSide) keyOf(row value.Row) (value.Row, uint64, bool) {
-	key := s.keyBuf[:0]
-	for _, e := range s.keys {
-		v := e.Eval(row)
-		if v.IsNull() {
-			return nil, 0, false
-		}
-		key = append(key, v)
+// keyAt returns key column c of the entry's row.
+func (s *joinSide) keyAt(e *joinEntry, c int) value.Value {
+	if idx := s.keyIdx[c]; idx >= 0 {
+		return e.row[idx]
 	}
-	s.keyBuf = key
-	return key, s.hasher.RowHash(key), true
+	return s.keys[c].Eval(e.row)
+}
+
+// keyMatches reports whether the entry's key equals key. Chains hold one
+// 64-bit hash, so mismatches are collision-rare; comparison order matches
+// the materialized-key Row.Equal it replaced.
+func (s *joinSide) keyMatches(e *joinEntry, key value.Row) bool {
+	for c := range key {
+		if !value.Equal(s.keyAt(e, c), key[c]) {
+			return false
+		}
+	}
+	return true
 }
 
 // update applies a delta to the side's multiset and returns the state work.
-func (s *joinSide) update(t delta.Tuple, key value.Row, h uint64) int64 {
+func (s *joinSide) update(t delta.Tuple, h uint64) int64 {
 	if head, ok := s.tab.Get(h); ok {
 		prev := int32(-1)
 		for ref := head; ref >= 0; {
 			e := s.arena.At(ref)
 			if e.bits == t.Bits && e.row.Equal(t.Row) {
-				e.count += int(t.Sign)
+				e.count += int32(t.Sign)
 				if e.count == 0 {
 					s.removeEntry(h, prev, ref)
 				}
@@ -103,17 +149,16 @@ func (s *joinSide) update(t delta.Tuple, key value.Row, h uint64) int64 {
 		}
 		// No match in the chain: append at the tail (prev), preserving
 		// arrival order for probes.
-		s.arena.At(prev).next = s.newEntry(t, key)
+		s.arena.At(prev).next = s.newEntry(t)
 		return 1
 	}
-	s.tab.Put(h, s.newEntry(t, key))
+	s.tab.Put(h, s.newEntry(t))
 	return 1
 }
 
-// newEntry arena-allocates an entry for the delta. key aliases the side's
-// scratch buffer; the retained entry needs its own copy.
-func (s *joinSide) newEntry(t delta.Tuple, key value.Row) int32 {
-	count := 1
+// newEntry arena-allocates an entry for the delta.
+func (s *joinSide) newEntry(t delta.Tuple) int32 {
+	count := int32(1)
 	if t.Sign == delta.Delete {
 		// Deleting a tuple that was never inserted: record a negative
 		// entry so a late matching insert cancels it. This keeps the
@@ -122,7 +167,7 @@ func (s *joinSide) newEntry(t delta.Tuple, key value.Row) int32 {
 	}
 	ref := s.arena.Alloc()
 	e := s.arena.At(ref)
-	e.key, e.row, e.bits, e.count, e.next = key.Clone(), t.Row, t.Bits, count, -1
+	e.row, e.bits, e.count, e.next = t.Row, t.Bits, count, -1
 	s.size++
 	return ref
 }
@@ -150,93 +195,132 @@ func (s *joinSide) removeEntry(h uint64, prev, ref int32) {
 			tail = s.arena.At(tail).next
 		}
 		te := s.arena.At(tail)
-		e.key, e.row, e.bits, e.count = te.key, te.row, te.bits, te.count
+		e.row, e.bits, e.count = te.row, te.bits, te.count
 		s.arena.At(tailPrev).next = -1
 		s.arena.Free(tail)
 	}
 	s.size--
 }
 
-// probe matches a delta against this side's current state, emitting joined
-// tuples via emit(otherRow, bits, count).
-func (s *joinSide) probe(key value.Row, h uint64, emit func(*joinEntry)) {
-	ref, ok := s.tab.Get(h)
-	if !ok {
-		return
-	}
-	for ref >= 0 {
-		e := s.arena.At(ref)
-		ref = e.next
-		if e.key.Equal(key) {
-			emit(e)
-		}
-	}
-}
-
 func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
 	out := j.outBuf[:0]
+	// Phase 1: left deltas update left state and probe the right state
+	// before the right batch is applied. Phase 2: right deltas update right
+	// state and probe the left state including the tuples just added.
+	out = j.runPhase(j.left, j.right, in[0], true, &w, out)
+	out = j.runPhase(j.right, j.left, in[1], false, &w, out)
+	j.outBuf = out
+	return out, w
+}
 
-	// emit filters on bits and multiplicity before allocating the
-	// concatenated row; callers already restrict bits to j.op.Queries.
-	emit := func(l, r value.Row, bits mqo.Bitset, sign delta.Sign, count int) {
-		if bits.Empty() || count == 0 {
-			return
+// runPhase drives one side's deltas through the join in chunks. selfIsLeft
+// fixes the output column order (left row then right row).
+func (j *joinExec) runPhase(self, other *joinSide, tuples []delta.Tuple, selfIsLeft bool, w *Work, out []delta.Tuple) []delta.Tuple {
+	it := delta.NewChunks(tuples, j.batch)
+	for tup, ok := it.Next(); ok; tup, ok = it.Next() {
+		w.Tuples += int64(len(tup))
+		ch := &self.ch
+		ch.Reset(tup)
+		ch.InitBits(j.op.Queries, true)
+		ch.NarrowNonEmpty()
+		if len(ch.Sel) == 0 {
+			continue
 		}
-		row := make(value.Row, 0, len(l)+len(r))
-		row = append(row, l...)
-		row = append(row, r...)
-		bits = applyMarkers(j.op, row, bits)
+		cols := self.keyCols
+		for c, ev := range self.kevs {
+			cols[c] = ev.Values(ch, ch.Sel)
+		}
+		// NULL never equi-joins: tuples with a NULL key leave the selection
+		// (no state update, no probe).
+		ch.Sel = ch.Sel.Compact(func(i int32) bool {
+			for _, col := range cols {
+				if col[i].IsNull() {
+					return false
+				}
+			}
+			return true
+		})
+		if len(ch.Sel) == 0 {
+			continue
+		}
+		if cap(self.hashes) < len(tup) {
+			self.hashes = make([]uint64, len(tup))
+			self.refs = make([]int32, len(tup))
+		}
+		hashes := self.hashes[:len(tup)]
+		refs := self.refs[:len(tup)]
+		self.hasher.HashCols(cols, ch.Sel, hashes)
+		other.tab.GetBatch(hashes, ch.Sel, refs)
+		for _, i := range ch.Sel {
+			key := self.keyBuf[:0]
+			for _, col := range cols {
+				key = append(key, col[i])
+			}
+			self.keyBuf = key
+			t := delta.Tuple{Row: tup[i].Row, Bits: ch.Bits[i], Sign: tup[i].Sign}
+			w.State += self.update(t, hashes[i])
+			for ref := refs[i]; ref >= 0; {
+				e := other.arena.At(ref)
+				ref = e.next
+				if !other.keyMatches(e, key) {
+					continue
+				}
+				if selfIsLeft {
+					j.addCand(t.Row, e.row, t.Bits.Intersect(e.bits), t.Sign, int(e.count))
+				} else {
+					j.addCand(e.row, t.Row, t.Bits.Intersect(e.bits), t.Sign, int(e.count))
+				}
+			}
+		}
+		out = j.flushCand(out, w)
+	}
+	return out
+}
+
+// addCand queues one candidate emission: the concatenated row is carved from
+// the output arena, markers are deferred to flushCand.
+func (j *joinExec) addCand(l, r value.Row, bits mqo.Bitset, sign delta.Sign, count int) {
+	if bits.Empty() || count == 0 {
+		return
+	}
+	n, s := count, sign
+	if n < 0 {
+		n, s = -n, -s
+	}
+	row := j.arena.NewRow(len(l) + len(r))
+	copy(row, l)
+	copy(row[len(l):], r)
+	j.cand = append(j.cand, delta.Tuple{Row: row, Bits: bits, Sign: s})
+	j.candMult = append(j.candMult, n)
+}
+
+// flushCand applies the join's markers over the chunk's candidate emissions
+// column-at-a-time, then appends the survivors (with multiplicity) to out in
+// probe order.
+func (j *joinExec) flushCand(out []delta.Tuple, w *Work) []delta.Tuple {
+	if len(j.cand) == 0 {
+		return out
+	}
+	ch := &j.candCh
+	ch.Reset(j.cand)
+	ch.InitBits(j.op.Queries, true)
+	applyMarkersChunk(j.markers, ch)
+	for idx, t := range j.cand {
+		bits := ch.Bits[idx]
 		if bits.Empty() {
-			return
+			continue
 		}
-		n, s := count, sign
-		if n < 0 {
-			n, s = -n, -s
-		}
-		tup := delta.Tuple{Row: row, Bits: bits, Sign: s}
-		for i := 0; i < n; i++ {
+		n := j.candMult[idx]
+		tup := delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}
+		for k := 0; k < n; k++ {
 			out = append(out, tup)
 		}
 		w.Output += int64(n)
 	}
-
-	// Phase 1: left deltas update left state and probe the right state
-	// before the right batch is applied.
-	for _, t := range in[0] {
-		w.Tuples++
-		bits := t.Bits.Intersect(j.op.Queries)
-		if bits.Empty() {
-			continue
-		}
-		key, h, ok := j.left.keyOf(t.Row)
-		if !ok {
-			continue
-		}
-		w.State += j.left.update(delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}, key, h)
-		j.right.probe(key, h, func(e *joinEntry) {
-			emit(t.Row, e.row, bits.Intersect(e.bits), t.Sign, e.count)
-		})
-	}
-	// Phase 2: right deltas update right state and probe the left state
-	// including the tuples just added.
-	for _, t := range in[1] {
-		w.Tuples++
-		bits := t.Bits.Intersect(j.op.Queries)
-		if bits.Empty() {
-			continue
-		}
-		key, h, ok := j.right.keyOf(t.Row)
-		if !ok {
-			continue
-		}
-		w.State += j.right.update(delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign}, key, h)
-		j.left.probe(key, h, func(e *joinEntry) {
-			emit(e.row, t.Row, bits.Intersect(e.bits), t.Sign, e.count)
-		})
-	}
-	j.outBuf = out
-	return out, w
+	j.cand = j.cand[:0]
+	j.candMult = j.candMult[:0]
+	return out
 }
 
 // stateSize returns the number of distinct entries held on both sides.

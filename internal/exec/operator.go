@@ -1,13 +1,23 @@
 package exec
 
 import (
+	"sort"
+
 	"ishare/internal/delta"
 	"ishare/internal/mqo"
 	"ishare/internal/value"
+	"ishare/internal/vec"
 )
 
 // operator is a stateful physical operator. process consumes one batch of
 // deltas per child and returns the output deltas plus the work done.
+//
+// Operators process their input in columnar chunks (internal/vec): marker
+// predicates and key/projection expressions are evaluated column-at-a-time
+// over a selection vector, filters deactivate selection entries instead of
+// copying rows, and emitted rows are carved from slab arenas. Chunking is
+// physical only: Work counters are computed from logical tuple counts, so
+// modeled work is bit-identical at any batch size.
 type operator interface {
 	process(in [][]delta.Tuple) ([]delta.Tuple, Work)
 }
@@ -15,7 +25,9 @@ type operator interface {
 // applyMarkers evaluates the operator's per-query marker predicates against
 // the tuple's row and clears the bits of queries whose predicate fails
 // (SharedDB σ* semantics: marking never drops a tuple another query needs).
-// It returns the surviving bits.
+// It returns the surviving bits. This is the scalar path, used where output
+// cardinality is data-dependent (join emissions, aggregate group output);
+// scan and project apply the same markers chunk-at-a-time.
 func applyMarkers(op *mqo.Op, row value.Row, bits mqo.Bitset) mqo.Bitset {
 	for q, pred := range op.Preds {
 		if bits.Has(q) && !pred.Eval(row).Truth() {
@@ -25,73 +37,176 @@ func applyMarkers(op *mqo.Op, row value.Row, bits mqo.Bitset) mqo.Bitset {
 	return bits
 }
 
+// marker is one compiled per-query predicate plus its sub-selection
+// scratch: the predicate evaluates only over tuples that still carry the
+// marker's query bit, matching the scalar path's lazy evaluation.
+type marker struct {
+	q    int
+	pred *vec.Eval
+	sel  vec.SelVector
+}
+
+// compileMarkers compiles an operator's marker predicates in query order
+// (the map's iteration order varies, but markers commute — each clears only
+// its own query's bit).
+func compileMarkers(op *mqo.Op) []marker {
+	if len(op.Preds) == 0 {
+		return nil
+	}
+	out := make([]marker, 0, len(op.Preds))
+	for q, pred := range op.Preds {
+		out = append(out, marker{q: q, pred: vec.Compile(pred)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].q < out[j].q })
+	return out
+}
+
+// applyMarkersChunk runs every compiled marker over the chunk's selection,
+// clearing failing queries' bits in place. Each predicate evaluates only
+// over the tuples that still carry its query bit — tuples another query
+// already ruled out never pay for this query's predicate.
+func applyMarkersChunk(markers []marker, ch *vec.Chunk) {
+	for k := range markers {
+		m := &markers[k]
+		bit := mqo.Bit(m.q)
+		sub := m.sel[:0]
+		for _, i := range ch.Sel {
+			if ch.Bits[i]&bit != 0 {
+				sub = append(sub, i)
+			}
+		}
+		m.sel = sub
+		if len(sub) == 0 {
+			continue
+		}
+		vals := m.pred.Truths(ch, sub)
+		for _, i := range sub {
+			if !vals[i] {
+				ch.Bits[i] &^= bit
+			}
+		}
+	}
+}
+
 // newOperator instantiates the physical operator for a shared-plan node.
-func newOperator(op *mqo.Op) operator {
+// batch is the chunk size used for delta iteration.
+func newOperator(op *mqo.Op, batch int) operator {
 	switch op.Kind {
 	case mqo.KindScan:
-		return &scanExec{op: op}
+		return &scanExec{op: op, batch: batch, markers: compileMarkers(op)}
 	case mqo.KindProject:
-		return &projectExec{op: op}
+		return newProjectExec(op, batch)
 	case mqo.KindJoin:
-		return newJoinExec(op)
+		return newJoinExec(op, batch)
 	case mqo.KindAggregate:
-		return newAggExec(op)
+		return newAggExec(op, batch)
 	default:
 		panic("exec: unknown operator kind")
 	}
 }
 
 // scanExec stamps base-table deltas with the scan's query set and applies
-// its marker predicates. outBuf is the pooled emission buffer, reused
-// across incremental executions (downstream buffers copy tuple headers, so
-// only the slice header is recycled).
+// its marker predicates chunk-at-a-time. outBuf is the pooled emission
+// buffer, reused across incremental executions (downstream buffers copy
+// tuple headers, so only the slice header is recycled).
 type scanExec struct {
-	op     *mqo.Op
-	outBuf []delta.Tuple
+	op      *mqo.Op
+	batch   int
+	markers []marker
+	ch      vec.Chunk
+	outBuf  []delta.Tuple
 }
 
 func (s *scanExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
+	// Scan output is at most one tuple per input: size the pooled buffer
+	// once instead of append-growing through it.
+	if cap(s.outBuf) < len(in[0]) {
+		s.outBuf = make([]delta.Tuple, 0, len(in[0]))
+	}
 	out := s.outBuf[:0]
-	for _, t := range in[0] {
-		w.Tuples++
-		bits := applyMarkers(s.op, t.Row, s.op.Queries)
-		if bits.Empty() {
-			continue
+	it := delta.NewChunks(in[0], s.batch)
+	for tup, ok := it.Next(); ok; tup, ok = it.Next() {
+		w.Tuples += int64(len(tup))
+		ch := &s.ch
+		ch.Reset(tup)
+		ch.InitBits(s.op.Queries, false)
+		applyMarkersChunk(s.markers, ch)
+		for _, i := range ch.Sel {
+			if ch.Bits[i].Empty() {
+				continue
+			}
+			out = append(out, delta.Tuple{Row: tup[i].Row, Bits: ch.Bits[i], Sign: tup[i].Sign})
 		}
-		out = append(out, delta.Tuple{Row: t.Row, Bits: bits, Sign: t.Sign})
 	}
 	s.outBuf = out
 	w.Output += int64(len(out))
 	return out, w
 }
 
-// projectExec evaluates the projection list per tuple; outBuf pools the
-// emission slice as in scanExec (projected rows themselves are fresh — they
-// are retained downstream).
+// projectExec evaluates the projection list column-at-a-time over each
+// chunk's surviving selection, then applies its markers over the projected
+// columns before any output row is materialized. Emitted rows are carved
+// from the operator's row arena (projected rows are retained downstream).
 type projectExec struct {
-	op     *mqo.Op
-	outBuf []delta.Tuple
+	op      *mqo.Op
+	batch   int
+	exprs   []*vec.Eval
+	markers []marker
+	ch      vec.Chunk
+	cols    [][]value.Value
+	arena   vec.RowArena
+	outBuf  []delta.Tuple
+}
+
+func newProjectExec(op *mqo.Op, batch int) *projectExec {
+	p := &projectExec{
+		op:      op,
+		batch:   batch,
+		markers: compileMarkers(op),
+		exprs:   make([]*vec.Eval, len(op.Exprs)),
+		cols:    make([][]value.Value, len(op.Exprs)),
+	}
+	for i, ne := range op.Exprs {
+		p.exprs[i] = vec.Compile(ne.E)
+	}
+	return p
 }
 
 func (p *projectExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 	var w Work
+	// Projection emits at most one tuple per input.
+	if cap(p.outBuf) < len(in[0]) {
+		p.outBuf = make([]delta.Tuple, 0, len(in[0]))
+	}
 	out := p.outBuf[:0]
-	for _, t := range in[0] {
-		w.Tuples++
-		bits := t.Bits.Intersect(p.op.Queries)
-		if bits.Empty() {
+	it := delta.NewChunks(in[0], p.batch)
+	for tup, ok := it.Next(); ok; tup, ok = it.Next() {
+		w.Tuples += int64(len(tup))
+		ch := &p.ch
+		ch.Reset(tup)
+		ch.InitBits(p.op.Queries, true)
+		ch.NarrowNonEmpty()
+		if len(ch.Sel) == 0 {
 			continue
 		}
-		row := make(value.Row, len(p.op.Exprs))
-		for i, ne := range p.op.Exprs {
-			row[i] = ne.E.Eval(t.Row)
+		for c, ev := range p.exprs {
+			p.cols[c] = ev.Values(ch, ch.Sel)
 		}
-		bits = applyMarkers(p.op, row, bits)
-		if bits.Empty() {
-			continue
+		// Markers see the projected columns, not the input rows.
+		ch.Proj = p.cols
+		applyMarkersChunk(p.markers, ch)
+		ch.Proj = nil
+		for _, i := range ch.Sel {
+			if ch.Bits[i].Empty() {
+				continue
+			}
+			row := p.arena.NewRow(len(p.cols))
+			for c := range p.cols {
+				row[c] = p.cols[c][i]
+			}
+			out = append(out, delta.Tuple{Row: row, Bits: ch.Bits[i], Sign: tup[i].Sign})
 		}
-		out = append(out, delta.Tuple{Row: row, Bits: bits, Sign: t.Sign})
 	}
 	p.outBuf = out
 	w.Output += int64(len(out))

@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"ishare/internal/delta"
+	"ishare/internal/expr"
 	"ishare/internal/mqo"
 	"ishare/internal/value"
+	"ishare/internal/vec"
 )
 
 func TestWorkAccounting(t *testing.T) {
@@ -76,17 +78,35 @@ func TestCrossJoinIncrementalMatchesBatch(t *testing.T) {
 }
 
 func TestJoinNullKeysNeverMatch(t *testing.T) {
-	op := &mqo.Op{Kind: mqo.KindJoin, Queries: mqo.Bit(0)}
-	// Build a join over one int key each side via a tiny harness instead:
-	// NULL keys are exercised through the public path by a row whose key
-	// evaluates to NULL via division by zero upstream — simpler to test
-	// joinSide directly.
-	j := newJoinExec(&mqo.Op{Kind: mqo.KindJoin, Queries: mqo.Bit(0)})
-	_ = op
-	_ = j
-	side := newJoinSide(nil)
-	if _, _, ok := side.keyOf(value.Row{value.Int(1)}); !ok {
-		t.Error("empty key must be joinable (cross join)")
+	// NULL never equi-joins: tuples whose key evaluates to NULL leave the
+	// selection before state update and probe.
+	op := &mqo.Op{
+		Kind: mqo.KindJoin, Queries: mqo.Bit(0),
+		LeftKeys:  []expr.Expr{&expr.Column{Index: 0}},
+		RightKeys: []expr.Expr{&expr.Column{Index: 0}},
+	}
+	j := newJoinExec(op, 4)
+	left := []delta.Tuple{{Row: value.Row{value.Null}, Bits: mqo.Bit(0), Sign: delta.Insert}}
+	right := []delta.Tuple{{Row: value.Row{value.Null}, Bits: mqo.Bit(0), Sign: delta.Insert}}
+	out, w := j.process([][]delta.Tuple{left, right})
+	if len(out) != 0 {
+		t.Errorf("NULL keys joined: %v", out)
+	}
+	if w.State != 0 {
+		t.Errorf("NULL-keyed tuples entered join state, State = %d", w.State)
+	}
+	if w.Tuples != 2 {
+		t.Errorf("Tuples = %d, want 2 (input work counts NULL keys too)", w.Tuples)
+	}
+
+	// An empty key list is a cross join: every pair matches.
+	cross := newJoinExec(&mqo.Op{Kind: mqo.KindJoin, Queries: mqo.Bit(0)}, 4)
+	out, _ = cross.process([][]delta.Tuple{
+		{{Row: value.Row{value.Int(1)}, Bits: mqo.Bit(0), Sign: delta.Insert}},
+		{{Row: value.Row{value.Int(2)}, Bits: mqo.Bit(0), Sign: delta.Insert}},
+	})
+	if len(out) != 1 {
+		t.Errorf("cross join emitted %d tuples, want 1", len(out))
 	}
 }
 
@@ -184,11 +204,11 @@ func TestAggregateNullArgumentsSkipped(t *testing.T) {
 }
 
 func TestStateSizes(t *testing.T) {
-	j := newJoinExec(&mqo.Op{Kind: mqo.KindJoin, Queries: mqo.Bit(0)})
+	j := newJoinExec(&mqo.Op{Kind: mqo.KindJoin, Queries: mqo.Bit(0)}, vec.BatchFromEnv())
 	if j.stateSize() != 0 {
 		t.Error("fresh join state not empty")
 	}
-	a := newAggExec(&mqo.Op{Kind: mqo.KindAggregate, Queries: mqo.Bit(0)})
+	a := newAggExec(&mqo.Op{Kind: mqo.KindAggregate, Queries: mqo.Bit(0)}, vec.BatchFromEnv())
 	if a.stateSize() != 0 {
 		t.Error("fresh agg state not empty")
 	}

@@ -10,6 +10,7 @@ import (
 	"ishare/internal/mqo"
 	"ishare/internal/trace"
 	"ishare/internal/value"
+	"ishare/internal/vec"
 )
 
 // Dataset holds the rows that arrive for each base table during one trigger
@@ -67,8 +68,20 @@ func InsertStream(data Dataset) DeltaDataset {
 	return deltas
 }
 
-// NewDeltaRunner builds a runner over signed change streams.
+// NewDeltaRunner builds a runner over signed change streams using the batch
+// size from the ISHARE_BATCH environment variable (vec.DefaultBatch when
+// unset). The env var is read here, at construction time, rather than at
+// package init so `go test` records it in the test cache key — a CI run with
+// the knob set can never reuse cached default-batch results.
 func NewDeltaRunner(g *mqo.Graph, data DeltaDataset) (*Runner, error) {
+	return NewDeltaRunnerBatch(g, data, vec.BatchFromEnv())
+}
+
+// NewDeltaRunnerBatch builds a runner whose operators iterate deltas in
+// chunks of batch tuples (any value < 1 means one chunk per input). Results
+// and modeled work are identical at every batch size; the knob exists for
+// performance tuning and for the invariance tests that prove that claim.
+func NewDeltaRunnerBatch(g *mqo.Graph, data DeltaDataset, batch int) (*Runner, error) {
 	r := &Runner{
 		Graph:      g,
 		Data:       data,
@@ -87,7 +100,7 @@ func NewDeltaRunner(g *mqo.Graph, data DeltaDataset) (*Runner, error) {
 	}
 	r.Execs = make([]*SubplanExec, len(g.Subplans))
 	for _, s := range g.Subplans { // children-first, so child execs exist
-		se, err := NewSubplanExec(g, s, r)
+		se, err := NewSubplanExec(g, s, r, batch)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@ import (
 	"ishare/internal/delta"
 	"ishare/internal/mqo"
 	"ishare/internal/value"
+	"ishare/internal/vec"
 )
 
 // retractStream builds the MIN/MAX-heavy delete stream: n distinct values
@@ -89,7 +90,7 @@ func TestAggSteadyStateAllocs(t *testing.T) {
 	if aggOp == nil {
 		t.Fatal("no aggregate operator in plan")
 	}
-	g := newAggExec(aggOp)
+	g := newAggExec(aggOp, vec.BatchFromEnv())
 	seed := make([]delta.Tuple, 0, 64)
 	for i := 0; i < 64; i++ {
 		seed = append(seed, tupleFor(value.Row{value.Int(int64(i % 8)), value.Float(float64(i))}))

@@ -40,8 +40,10 @@ type inputResolver interface {
 	SubplanLog(s *mqo.Subplan) (*buffer.Log, error)
 }
 
-// NewSubplanExec wires a subplan's operators and input readers.
-func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver) (*SubplanExec, error) {
+// NewSubplanExec wires a subplan's operators and input readers. batch is the
+// chunk size the member operators iterate deltas with; it is captured per
+// operator at construction so concurrent runners never share batch state.
+func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver, batch int) (*SubplanExec, error) {
 	se := &SubplanExec{
 		Sub:    sub,
 		Out:    buffer.NewLog(fmt.Sprintf("subplan%d", sub.ID)),
@@ -54,7 +56,7 @@ func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver) (*Subplan
 		se.member[o] = true
 	}
 	for _, o := range sub.Ops {
-		se.ops[o] = newOperator(o)
+		se.ops[o] = newOperator(o, batch)
 		if o.Kind == mqo.KindScan {
 			log, err := res.TableLog(o.Table.Name)
 			if err != nil {

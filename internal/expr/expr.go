@@ -135,6 +135,8 @@ type Binary struct {
 
 // Eval applies the operator with SQL-ish NULL propagation: any NULL operand
 // yields NULL, except AND/OR which use two-valued logic over non-NULL inputs.
+// AND and OR short-circuit on a decisive left operand; expressions are pure,
+// so the result matches Apply over both eagerly evaluated operands.
 func (b *Binary) Eval(row value.Row) value.Value {
 	l := b.L.Eval(row)
 	switch b.Op {
@@ -142,7 +144,23 @@ func (b *Binary) Eval(row value.Row) value.Value {
 		if l.K == value.KindBool && l.I == 0 {
 			return value.Bool(false)
 		}
-		r := b.R.Eval(row)
+	case OpOr:
+		if l.Truth() {
+			return value.Bool(true)
+		}
+	}
+	return Apply(b.Op, l, b.R.Eval(row))
+}
+
+// Apply combines two already evaluated operands under op with Binary.Eval's
+// exact semantics. The vectorized evaluator (internal/vec) uses it so
+// column-at-a-time results cannot drift from scalar evaluation.
+func Apply(op Op, l, r value.Value) value.Value {
+	switch op {
+	case OpAnd:
+		if l.K == value.KindBool && l.I == 0 {
+			return value.Bool(false)
+		}
 		if l.IsNull() || r.IsNull() {
 			return value.Null
 		}
@@ -151,19 +169,17 @@ func (b *Binary) Eval(row value.Row) value.Value {
 		if l.Truth() {
 			return value.Bool(true)
 		}
-		r := b.R.Eval(row)
 		if l.IsNull() || r.IsNull() {
 			return value.Null
 		}
 		return value.Bool(l.Truth() || r.Truth())
 	}
-	r := b.R.Eval(row)
 	if l.IsNull() || r.IsNull() {
 		return value.Null
 	}
-	if b.Op.Comparison() {
+	if op.Comparison() {
 		c := value.Compare(l, r)
-		switch b.Op {
+		switch op {
 		case OpEq:
 			return value.Bool(c == 0)
 		case OpNe:
@@ -178,7 +194,7 @@ func (b *Binary) Eval(row value.Row) value.Value {
 			return value.Bool(c >= 0)
 		}
 	}
-	return arith(b.Op, l, r)
+	return arith(op, l, r)
 }
 
 func arith(op Op, l, r value.Value) value.Value {
@@ -244,11 +260,16 @@ type Unary struct {
 
 // Eval applies the unary operator with NULL propagation.
 func (u *Unary) Eval(row value.Row) value.Value {
-	v := u.E.Eval(row)
+	return ApplyUnary(u.Op, u.E.Eval(row))
+}
+
+// ApplyUnary applies op to an already evaluated operand with Unary.Eval's
+// exact semantics.
+func ApplyUnary(op Op, v value.Value) value.Value {
 	if v.IsNull() {
 		return value.Null
 	}
-	switch u.Op {
+	switch op {
 	case OpNot:
 		return value.Bool(!v.Truth())
 	case OpNeg:

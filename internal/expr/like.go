@@ -36,7 +36,12 @@ func NewLike(e Expr, pattern string, negate bool) *Like {
 
 // Eval matches the pattern with SQL NULL propagation.
 func (l *Like) Eval(row value.Row) value.Value {
-	v := l.E.Eval(row)
+	return l.Apply(l.E.Eval(row))
+}
+
+// Apply matches an already evaluated operand — the vectorized evaluator's
+// per-element entry point.
+func (l *Like) Apply(v value.Value) value.Value {
 	if v.IsNull() {
 		return value.Null
 	}

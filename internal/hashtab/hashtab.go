@@ -45,6 +45,31 @@ func (t *Table) Get(h uint64) (int32, bool) {
 	return 0, false
 }
 
+// GetBatch looks up hashes[i] for every selected index in one pass, storing
+// the found reference (or -1) at refs[i]. Entries of refs outside sel are
+// left untouched. This is the probe side of vectorized join execution: a
+// chunk's key hashes are resolved against the build side together, keeping
+// the table's slot arrays hot instead of interleaving lookups with per-tuple
+// work.
+func (t *Table) GetBatch(hashes []uint64, sel []int32, refs []int32) {
+	if t.n == 0 {
+		for _, i := range sel {
+			refs[i] = -1
+		}
+		return
+	}
+	for _, i := range sel {
+		h := hashes[i]
+		refs[i] = -1
+		for j := h & t.mask; t.full[j]; j = (j + 1) & t.mask {
+			if t.hashes[j] == h {
+				refs[i] = t.refs[j]
+				break
+			}
+		}
+	}
+}
+
 // Put stores ref for hash h, replacing any existing reference.
 func (t *Table) Put(h uint64, ref int32) {
 	if len(t.hashes) == 0 || t.n >= len(t.hashes)*3/4 {

@@ -22,22 +22,35 @@ type CheckOptions struct {
 	// Decompose also runs a fully unshared build, a random query
 	// partition, and an aggregate-cut extraction.
 	Decompose bool
-	// Scheduler also drives the shared plan through the wall-clock
-	// scheduler runtime (internal/sched) on a virtual clock with a random
-	// pace vector, window split and worker count — including zero
-	// deadlines, so every window overloads and the degradation policy
-	// rewrites paces mid-run — and requires the trigger-point results to
-	// still match the oracle.
+	// Scheduler also drives the wall-clock scheduler runtime (internal/sched)
+	// on a virtual clock with a random pace vector, window split and worker
+	// count — including zero deadlines, so every window overloads and the
+	// degradation policy rewrites paces mid-run — and requires the
+	// trigger-point results to still match the oracle.
 	Scheduler bool
+	// BatchSizes, when non-empty, adds a metamorphic batch-invariance pass:
+	// the shared plan re-runs under one pace vector with each vectorized
+	// chunk size, and every run must produce both identical query results
+	// and an identical modeled-work report — chunking is a physical
+	// execution detail that may never leak into the cost model.
+	BatchSizes []int
 	// Rand drives pace/partition choices; nil derives one from the
 	// workload seed so checks are reproducible.
 	Rand *rand.Rand
 }
 
 // DefaultCheckOptions matches the acceptance bar: ≥3 random pace vectors, a
-// decomposed variant, Workers 1 and 4, and a scheduler-runtime pass.
+// decomposed variant, Workers 1 and 4, a scheduler-runtime pass, and
+// batch-size invariance at chunk sizes 1, 7 and 1024.
 func DefaultCheckOptions() CheckOptions {
-	return CheckOptions{PaceVectors: 3, MaxPace: 6, Workers: []int{1, 4}, Decompose: true, Scheduler: true}
+	return CheckOptions{
+		PaceVectors: 3,
+		MaxPace:     6,
+		Workers:     []int{1, 4},
+		Decompose:   true,
+		Scheduler:   true,
+		BatchSizes:  []int{1, 7, 1024},
+	}
 }
 
 // Mismatch describes one divergence between the engine and the oracle.
@@ -141,6 +154,44 @@ func Check(w *Workload, opts CheckOptions) (*Mismatch, error) {
 			return m, err
 		}
 	}
+	// Batch-invariance: the vectorized chunk size must change neither
+	// results nor any modeled-work number. All sizes run the same pace
+	// vector so their reports are directly comparable.
+	if len(opts.BatchSizes) > 0 {
+		paces := randPaces(shared)
+		var ref *exec.Report
+		var refConfig string
+		for _, batch := range opts.BatchSizes {
+			config := fmt.Sprintf("shared/chunk=%d/paces=%v", batch, paces)
+			runner, err := exec.NewDeltaRunnerBatch(shared, data, batch)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s: %w", config, err)
+			}
+			rep, err := runner.Run(paces)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s: %w", config, err)
+			}
+			for q := range queries {
+				got := Canon(runner.Results(q))
+				if !eqStrings(got, want[q]) {
+					return &Mismatch{Config: config, Query: q, SQL: w.SQL[q], Got: got, Want: want[q]}, nil
+				}
+			}
+			if ref == nil {
+				ref, refConfig = rep, config
+				continue
+			}
+			if diff := reportDiff(ref, rep); diff != "" {
+				return &Mismatch{
+					Config: config,
+					Query:  -1,
+					SQL:    "modeled work must be batch-size invariant",
+					Got:    []string{fmt.Sprintf("%s: %s", config, diff)},
+					Want:   []string{fmt.Sprintf("report identical to %s", refConfig)},
+				}, nil
+			}
+		}
+	}
 	// Worker-invariance: the parallel scheduler must not change results.
 	for _, workers := range opts.Workers {
 		paces := randPaces(shared)
@@ -222,6 +273,36 @@ func make1s(n int) []int {
 		out[i] = 1
 	}
 	return out
+}
+
+// reportDiff describes the first modeled-work divergence between two run
+// reports, or "" when every work number matches.
+func reportDiff(a, b *exec.Report) string {
+	if a.TotalWork != b.TotalWork {
+		return fmt.Sprintf("TotalWork %d != %d", b.TotalWork, a.TotalWork)
+	}
+	if !eqInt64s(a.SubplanTotal, b.SubplanTotal) {
+		return fmt.Sprintf("SubplanTotal %v != %v", b.SubplanTotal, a.SubplanTotal)
+	}
+	if !eqInt64s(a.SubplanFinal, b.SubplanFinal) {
+		return fmt.Sprintf("SubplanFinal %v != %v", b.SubplanFinal, a.SubplanFinal)
+	}
+	if !eqInt64s(a.QueryFinal, b.QueryFinal) {
+		return fmt.Sprintf("QueryFinal %v != %v", b.QueryFinal, a.QueryFinal)
+	}
+	return ""
+}
+
+func eqInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func eqStrings(a, b []string) bool {

@@ -78,4 +78,33 @@ var shrunkSeeds = []shrunkSeed{
 			SQL: []string{"SELECT t0.c1, MAX(t0.c2), MIN(t0.c2) FROM t0 WHERE t0.c1 NOT LIKE 'a%' GROUP BY t0.c1"},
 		},
 	},
+	{
+		// Selection vectors that empty mid-pipeline: the first query's scan
+		// marker rejects every tuple (its per-marker sub-selection empties in
+		// every chunk), the second keeps only positive c0, and the trailing
+		// deletes drain the shared groups back to nothing. At chunk size 1
+		// every chunk empties; at larger sizes the whole selection survives
+		// the scan and dies at the markers — both must agree with the oracle
+		// and with each other's modeled work.
+		name: "selection-empties-mid-pipeline",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindInt}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Int(10)),
+					oracle.Ins(value.Int(-5), value.Int(10)),
+					oracle.Ins(value.Int(2), value.Int(20)),
+					oracle.Ins(value.Int(-6), value.Int(20)),
+					oracle.Del(value.Int(1), value.Int(10)),
+					oracle.Del(value.Int(2), value.Int(20)),
+				},
+			},
+			SQL: []string{
+				"SELECT t0.c1, COUNT(*) FROM t0 WHERE t0.c0 > 100 GROUP BY t0.c1",
+				"SELECT t0.c1, SUM(t0.c0) FROM t0 WHERE t0.c0 > 0 GROUP BY t0.c1",
+			},
+		},
+	},
 }

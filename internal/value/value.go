@@ -4,6 +4,7 @@
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/maphash"
 	"math"
@@ -199,8 +200,25 @@ func cmpFloat(a, b float64) int {
 	}
 }
 
-// Equal reports value equality under Compare semantics.
-func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+// Equal reports value equality under Compare semantics. Same-kind cases
+// are answered directly — this is the inner comparison of join-probe chain
+// walks and state updates — and each branch reproduces Compare exactly,
+// including cmpFloat's treatment of NaN (incomparable, therefore "equal").
+func Equal(a, b Value) bool {
+	if a.K == b.K {
+		switch a.K {
+		case KindInt, KindDate, KindBool:
+			return a.I == b.I
+		case KindFloat:
+			return !(a.F < b.F) && !(a.F > b.F)
+		case KindString:
+			return a.S == b.S
+		case KindNull:
+			return true
+		}
+	}
+	return Compare(a, b) == 0
+}
 
 // Row is a tuple of values.
 type Row []Value
@@ -224,14 +242,37 @@ func (r Row) String() string {
 	return b.String()
 }
 
-// Equal reports whether two rows are element-wise equal.
+// Equal reports whether two rows are element-wise equal. The loop inlines
+// Equal's same-kind cases: this is the inner comparison of the join's
+// state-update chain walk, where rows come from one table and kinds match
+// column-for-column.
 func (r Row) Equal(o Row) bool {
 	if len(r) != len(o) {
 		return false
 	}
 	for i := range r {
-		if !Equal(r[i], o[i]) {
-			return false
+		a, b := r[i], o[i]
+		if a.K != b.K {
+			if Compare(a, b) != 0 {
+				return false
+			}
+			continue
+		}
+		switch a.K {
+		case KindString:
+			if a.S != b.S {
+				return false
+			}
+		case KindFloat:
+			// Compare semantics: NaN is incomparable, therefore "equal".
+			if a.F < b.F || a.F > b.F {
+				return false
+			}
+		case KindNull:
+		default: // Int, Date, Bool
+			if a.I != b.I {
+				return false
+			}
 		}
 	}
 	return true
@@ -255,20 +296,21 @@ func NewHasher() *Hasher {
 func (h *Hasher) Reset() { h.h.Reset() }
 
 // WriteValue mixes one value into the hash. Numeric values hash by their
-// float64 image so that Int(2) and Float(2) group together, matching Compare.
+// float64 image so that Int(2) and Float(2) group together, matching
+// Compare. The byte stream fed to maphash is unchanged from the
+// byte-at-a-time version (maphash depends only on the sequence, not on
+// write boundaries); the class tag and float image go down in one write.
 func (h *Hasher) WriteValue(v Value) {
-	h.h.WriteByte(byte(hashClass(v.K)))
 	switch v.K {
 	case KindNull:
+		h.h.WriteByte(byte(hashClass(v.K)))
 	case KindString:
+		h.h.WriteByte(byte(hashClass(v.K)))
 		h.h.WriteString(v.S)
 	default:
-		f := v.AsFloat()
-		u := math.Float64bits(f)
-		var buf [8]byte
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(u >> (8 * i))
-		}
+		var buf [9]byte
+		buf[0] = byte(hashClass(v.K))
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v.AsFloat()))
 		h.h.Write(buf[:])
 	}
 }
@@ -302,6 +344,31 @@ func (h *Hasher) RowHash(r Row) uint64 {
 	return h.h.Sum64()
 }
 
+// HashCols hashes one logical row per selected index out of column vectors:
+// for each i in sel, the row (cols[0][i], cols[1][i], ...) is hashed exactly
+// as RowHash would hash it and the result stored at out[i]. This is the
+// columnar hash path: an operator evaluates its key expressions
+// column-at-a-time over a chunk, then hashes the whole key column set in one
+// pass.
+func (h *Hasher) HashCols(cols [][]Value, sel []int32, out []uint64) {
+	if len(cols) == 1 {
+		col := cols[0]
+		for _, i := range sel {
+			h.h.Reset()
+			h.WriteValue(col[i])
+			out[i] = h.h.Sum64()
+		}
+		return
+	}
+	for _, i := range sel {
+		h.h.Reset()
+		for _, col := range cols {
+			h.WriteValue(col[i])
+		}
+		out[i] = h.h.Sum64()
+	}
+}
+
 // HashRow hashes a full row.
 func HashRow(r Row) uint64 {
 	var h Hasher
@@ -333,4 +400,42 @@ func AppendKey(buf []byte, r Row) []byte {
 // where exact equality (not just hash equality) is required.
 func Key(r Row) string {
 	return string(AppendKey(nil, r))
+}
+
+// KeyEqual reports whether two values have identical AppendKey encodings
+// without materializing them — the hot-path replacement for encoding both
+// sides and comparing bytes. The semantics are the grouping key rules
+// (shared with internal/ordset): numeric kinds collapse to their float64
+// image, ±0.0 are distinct keys (their bit patterns, and therefore their
+// encodings and hashes, differ), and all NaNs are one key.
+func KeyEqual(a, b Value) bool {
+	ca, cb := hashClass(a.K), hashClass(b.K)
+	if ca != cb {
+		return false
+	}
+	switch ca {
+	case 0: // NULL
+		return true
+	case 2: // strings compare by content
+		return a.S == b.S
+	default:
+		fa, fb := a.AsFloat(), b.AsFloat()
+		if math.IsNaN(fa) || math.IsNaN(fb) {
+			return math.IsNaN(fa) && math.IsNaN(fb)
+		}
+		return math.Float64bits(fa) == math.Float64bits(fb)
+	}
+}
+
+// RowKeyEqual reports whether two rows have identical AppendKey encodings.
+func RowKeyEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !KeyEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
 }

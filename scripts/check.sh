@@ -21,6 +21,14 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Chunk-boundary coverage: rerun the executor and differential tests with a
+# tiny vectorized batch size so bugs that only appear at chunk seams cannot
+# hide behind the 1024-tuple default. -count=1 forces a real run: the env
+# knob is read at runner construction, which the test cache keys on only
+# when the variable is actually read during the test.
+echo "== go test (ISHARE_BATCH=3)"
+ISHARE_BATCH=3 go test -count=1 ./internal/exec ./internal/oracle
+
 echo "== trace smoke (-experiment sched -trace)"
 TRACE_OUT="$(mktemp /tmp/ishare-trace.XXXXXX.json)"
 go run ./cmd/ishare -experiment sched -sf 0.02 -trace "$TRACE_OUT" >/dev/null
@@ -30,11 +38,11 @@ rm -f "$TRACE_OUT"
 # Informational benchmark diff: when both the frozen baseline and a current
 # bench-json report exist, print the per-benchmark deltas. Never fails the
 # gate — CI-runner noise is too high for a hard perf gate.
-if [ -f BENCH_PR4.json ] && [ -f BENCH_PR5.json ]; then
+if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then
 	echo "== bench-diff (informational)"
-	go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json || true
+	go run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json || true
 else
-	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR5.json)"
+	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR6.json)"
 fi
 
 if [ "${SKIP_FUZZ:-}" != "1" ]; then
