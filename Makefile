@@ -1,8 +1,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench bench-json bench-diff check fuzz oracle soak
+.PHONY: build test race vet bench bench-json bench-diff check fuzz oracle soak churn-soak
 SOAKTIME ?= 30s
+CHURNTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -25,16 +26,16 @@ bench:
 # them as a machine-readable JSON report (name/iters/ns_op/bytes_op/
 # allocs_op per benchmark); CI uploads the file as an artifact so perf
 # regressions can be diffed across runs.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 BENCH_TIME ?= 1x
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # bench-diff prints a per-benchmark delta table between the checked-in
-# baseline report (BENCH_BASE, frozen before the vectorized-execution
-# rework) and the current report produced by bench-json. Informational: the
+# baseline report (BENCH_BASE, frozen before the online-admission work)
+# and the current report produced by bench-json. Informational: the
 # exit status ignores how the numbers moved.
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR6.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_JSON)
 
@@ -55,6 +56,15 @@ fuzz:
 # virtual; SOAKTIME only bounds how many scenarios run.
 soak:
 	$(GO) test ./internal/sched -race -run TestSchedulerSoak -soaktime $(SOAKTIME) -v
+
+# churn-soak fuzzes online admission for CHURNTIME (default 30s) of wall
+# clock under the race detector: random workloads carrying random
+# admit/retire schedules, each driven through the graft path with state
+# transplant on and off and checked against the naive oracle after every
+# window, with a byte-identical final work report required against a
+# from-scratch build of the final plan.
+churn-soak:
+	$(GO) test ./internal/oracle -race -run TestChurnSoak -churntime $(CHURNTIME) -v
 
 # oracle runs the full (non -short) differential suite: hundreds of seeded
 # workloads, each checked under batch, random pace vectors, Workers 1 and 4,

@@ -464,6 +464,74 @@ func BenchmarkGreedySearch(b *testing.B) {
 	}
 }
 
+// BenchmarkAdmit measures online admission onto a live shared plan: "warm"
+// admits Q22 into a running {Q1, Q6} plan — matching state-identical
+// subplans against the previous revision and transplanting their memoized
+// cost rows before the pace search — while "cold" plans the same final
+// three-query set from scratch. Q22 shares no table with the lineitem
+// pair, so every existing subplan carries over and the warm search only
+// simulates the admitted chain. Both searches walk the same path and pick
+// the same pace vector; the memo transplant is the only difference, so the
+// warm/cold gap is the cost of the simulations the transplant avoids
+// (sims_warm vs sims_cold report the per-admission simulation counts).
+func BenchmarkAdmit(b *testing.B) {
+	cfg := benchConfig()
+	cat, err := tpch.NewCatalog(cfg.SF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := tpch.ByName("Q1", "Q6", "Q22")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := tpch.Bind(qs, cat, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	abs, err := opt.AbsoluteConstraints(bound, experiments.UniformRel(len(bound), 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const maxPace = 25
+
+	b.Run("warm", func(b *testing.B) {
+		live, err := opt.NewLive(opt.Request{
+			Queries: bound[:2], Constraints: abs[:2], MaxPace: maxPace,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sims int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot, rep, err := live.Admit(bound[2], abs[2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims = rep.Sims
+			b.StopTimer()
+			if _, err := live.Retire(slot); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(sims), "sims_warm")
+	})
+	b.Run("cold", func(b *testing.B) {
+		var sims int64
+		for i := 0; i < b.N; i++ {
+			cold, err := opt.NewLive(opt.Request{
+				Queries: bound, Constraints: abs, MaxPace: maxPace,
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims = cold.Model.Sims
+		}
+		b.ReportMetric(float64(sims), "sims_cold")
+	})
+}
+
 // BenchmarkJoinProbe measures the engine's symmetric-hash-join hot path: a
 // join-heavy three-query shared plan executed incrementally at pace 8, where
 // per-tuple key evaluation, probing and emission dominate.

@@ -45,6 +45,7 @@ type options struct {
 	Explain      string
 	Rel          float64
 	DebugAddr    string
+	Churn        bool
 }
 
 // parseArgs parses the command line (sans program name) into options; split
@@ -64,6 +65,7 @@ func parseArgs(args []string) (*options, error) {
 		explain      = fs.String("explain", "", "instead of an experiment, print the optimizer's EXPLAIN report for the named queries (comma-separated, e.g. Q1,Q6,Q14)")
 		rel          = fs.Float64("rel", 0.5, "uniform relative final-work constraint for -explain")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
+		churn        = fs.Bool("churn", false, "instead of an experiment, run the online-admission demo: admit and retire queries on a live shared plan")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -80,6 +82,7 @@ func parseArgs(args []string) (*options, error) {
 		Explain:      *explain,
 		Rel:          *rel,
 		DebugAddr:    *debugAddr,
+		Churn:        *churn,
 	}, nil
 }
 
@@ -103,6 +106,13 @@ func main() {
 	}
 	if opts.DOT != "" {
 		if err := writeDOT(opts.DOT, opts.Config); err != nil {
+			fmt.Fprintln(os.Stderr, "ishare:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if opts.Churn {
+		if err := runChurn(os.Stdout, opts.Config.Seed); err != nil {
 			fmt.Fprintln(os.Stderr, "ishare:", err)
 			os.Exit(1)
 		}

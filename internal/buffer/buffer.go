@@ -71,20 +71,32 @@ func (l *Log) Reset() {
 // Reader is one consumer's cursor over a log. Each parent subplan owns one
 // reader per input buffer, so parents consume at independent paces.
 type Reader struct {
-	log *Log
-	off int
+	log   *Log
+	off   int
+	limit int
 }
 
 // NewReader returns a cursor at the start of the log.
 func (l *Log) NewReader() *Reader {
-	return &Reader{log: l}
+	return &Reader{log: l, limit: -1}
 }
+
+// SetLimit caps ReadNew at log position n until ClearLimit. Replay after a
+// plan graft uses this to feed an executor exactly one sealed window's worth
+// of input even though the log already holds the full history.
+func (r *Reader) SetLimit(n int) { r.limit = n }
+
+// ClearLimit removes the ReadNew cap.
+func (r *Reader) ClearLimit() { r.limit = -1 }
 
 // ReadNew returns all tuples appended since the previous call and advances
 // the cursor past them.
 func (r *Reader) ReadNew() []delta.Tuple {
 	end := r.log.Len()
-	if end == r.off {
+	if r.limit >= 0 && end > r.limit {
+		end = r.limit
+	}
+	if end <= r.off {
 		return nil
 	}
 	out := r.log.Slice(r.off, end)

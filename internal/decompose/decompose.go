@@ -455,3 +455,24 @@ func (d *Decomposer) newOptimizer(m *cost.Model) (*pace.Optimizer, error) {
 	o.Trace = d.Opts.Tracer
 	return o, nil
 }
+
+// ClassesFromSplits freezes an adopted decomposition into a sharing-class
+// function for mqo.BuildOptions.Classes: at each split operator (by base
+// signature), queries land in the class of the recorded partition that
+// contains them. Queries outside every recorded partition — e.g. a query
+// admitted to a live plan after the decomposition was chosen — default to
+// class 0, the maximally shared side, so online admission can rebuild a
+// decomposed plan without re-running the decomposer.
+func ClassesFromSplits(splits map[string][]mqo.Bitset) func(sig string, q int) int {
+	if len(splits) == 0 {
+		return nil
+	}
+	return func(sig string, q int) int {
+		for i, p := range splits[sig] {
+			if p.Has(q) {
+				return i + 1
+			}
+		}
+		return 0
+	}
+}

@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"fmt"
+
+	"ishare/internal/buffer"
+	"ishare/internal/mqo"
+)
+
+// This file implements online query admission at the executor level:
+// Runner.Graft swaps a running Runner onto a revised subplan graph (queries
+// admitted to or retired from the shared plan) without discarding operator
+// state. Subplans of the new graph that are state-identical to an old
+// subplan (mqo.MatchSubplans) adopt the old executor wholesale — join build
+// sides, group indexes, ordset accumulators and the materialized output log
+// carry over via their stable references. Subplans with no state-identical
+// predecessor are rebuilt fresh and *replayed* through the sealed
+// window-by-window history (Runner.winData / SubplanExec.winOut), so their
+// state, output and modeled work land exactly where a from-scratch run over
+// the same lifetime would have put them. Old subplans nothing adopted —
+// including those whose last sharer retired — are dropped and their state
+// garbage-collected.
+
+// GraftOptions configures one plan graft.
+type GraftOptions struct {
+	// DisableTransplant rebuilds and replays every subplan even when a
+	// state-identical old executor exists. Results and modeled work must be
+	// unchanged — adoption is purely an optimization — and the churn-mode
+	// differential oracle runs every schedule both ways to prove it.
+	DisableTransplant bool
+}
+
+// GraftStats summarizes what one graft did.
+type GraftStats struct {
+	// Adopted counts subplans whose old executor state carried over.
+	Adopted int
+	// Rebuilt counts subplans built fresh and replayed from history.
+	Rebuilt int
+	// Dropped counts old executors released because no new subplan adopted
+	// them (e.g. the last sharing query retired).
+	Dropped int
+	// Replayed counts window replays performed (rebuilt subplans × sealed
+	// windows).
+	Replayed int
+}
+
+// DebugGraftLooseMatch, when true, lets Graft adopt old executors whose
+// loose state signature matches (query-slot bitsets masked out) even though
+// the strict signature does not — the classic online-admission bug where an
+// admitted query is grafted onto existing operator state without catching
+// up: tuples stamped before admission never carry the new query's bit, and
+// future scans keep stamping the old bitset. It exists to prove the
+// churn-mode differential oracle has teeth; production code must never set
+// it.
+var DebugGraftLooseMatch bool
+
+// graftResolver resolves fresh executors' inputs during a graft, when
+// r.Execs still describes the old plan: child outputs come from the new
+// executor slice as it is being filled (children-first).
+type graftResolver struct {
+	r     *Runner
+	execs []*SubplanExec
+}
+
+func (gr graftResolver) TableLog(name string) (*buffer.Log, error) {
+	return gr.r.TableLog(name)
+}
+
+func (gr graftResolver) SubplanLog(s *mqo.Subplan) (*buffer.Log, error) {
+	se := gr.execs[s.ID]
+	if se == nil {
+		return nil, fmt.Errorf("exec: graft: subplan %d has no executor yet", s.ID)
+	}
+	return se.Out, nil
+}
+
+// Graft swaps the runner onto newG, carrying operator state over where the
+// new graph is state-identical to the old one and replaying the rest from
+// the sealed window history. It must be called at a window boundary: every
+// delta of the current window appended and processed (the scheduler runtime
+// and the churn oracle both graft between windows). The current window is
+// sealed first, so post-graft arrivals start a fresh window.
+func (r *Runner) Graft(newG *mqo.Graph, opts GraftOptions) (*GraftStats, error) {
+	// Flush any remainder of the current stream into the logs (a no-op for
+	// well-behaved window-boundary callers), then seal the window so the
+	// history below is complete.
+	r.arriveUpTo(1, 1)
+	r.sealWindow()
+
+	match := mqo.MatchSubplans(r.Graph, newG)
+	var looseBySig map[string][]int
+	var newLoose []string
+	if DebugGraftLooseMatch {
+		oldLoose := mqo.LooseStateSignatures(r.Graph)
+		newLoose = mqo.LooseStateSignatures(newG)
+		looseBySig = make(map[string][]int)
+		for _, s := range r.Graph.Subplans {
+			looseBySig[oldLoose[s.ID]] = append(looseBySig[oldLoose[s.ID]], s.ID)
+		}
+	}
+
+	// Tables the new plan scans that have no log yet (they may or may not
+	// have been arriving unobserved): create empty logs now and backfill
+	// them window by window during replay.
+	newTables := make(map[string]bool)
+	for _, s := range newG.Subplans {
+		for _, o := range s.Scans() {
+			name := o.Table.Name
+			if _, ok := r.tables[name]; !ok {
+				r.tables[name] = buffer.NewLog("table:" + name)
+				newTables[name] = true
+			}
+		}
+	}
+
+	stats := &GraftStats{}
+	newExecs := make([]*SubplanExec, len(newG.Subplans))
+	res := graftResolver{r: r, execs: newExecs}
+	adoptedOld := make(map[int]bool)
+	var fresh []*mqo.Subplan
+	for _, s := range newG.Subplans { // children-first
+		if oldID, ok := match[s.ID]; ok && !opts.DisableTransplant {
+			se := r.Execs[oldID]
+			se.adopt(r.Graph.Subplans[oldID], s)
+			newExecs[s.ID] = se
+			adoptedOld[oldID] = true
+			stats.Adopted++
+			continue
+		}
+		if DebugGraftLooseMatch {
+			staleAdopted := false
+			for _, oldID := range looseBySig[newLoose[s.ID]] {
+				if adoptedOld[oldID] {
+					continue
+				}
+				se := r.Execs[oldID]
+				se.adopt(r.Graph.Subplans[oldID], s)
+				newExecs[s.ID] = se
+				adoptedOld[oldID] = true
+				stats.Adopted++
+				staleAdopted = true
+				break
+			}
+			if staleAdopted {
+				continue
+			}
+		}
+		se, err := NewSubplanExec(newG, s, res, r.batch)
+		if err != nil {
+			return nil, fmt.Errorf("exec: graft: %w", err)
+		}
+		newExecs[s.ID] = se
+		fresh = append(fresh, s)
+		stats.Rebuilt++
+	}
+	stats.Dropped = len(r.Graph.Subplans) - len(adoptedOld)
+
+	// Replay each rebuilt subplan through the sealed windows: one execution
+	// per window, inputs capped at that window's marks. Children-first
+	// within each window, so a rebuilt parent reads its rebuilt child's
+	// freshly replayed window-k output.
+	for k := range r.winData {
+		marks := r.winData[k]
+		for name := range newTables {
+			target := marks[name] // zero if the table had not arrived yet
+			if from := r.appended[name]; target > from {
+				r.tables[name].Append(r.Data[name][from:target]...)
+				r.appended[name] = target
+			}
+		}
+		for _, s := range fresh {
+			se := newExecs[s.ID]
+			se.setReplayLimits(newG, marks, newExecs, k)
+			se.RunOnce()
+			se.winOut = append(se.winOut, se.Out.Len())
+			stats.Replayed++
+		}
+	}
+	for _, s := range fresh {
+		newExecs[s.ID].clearReplayLimits()
+	}
+	for name := range newTables {
+		r.windowBase[name] = r.appended[name]
+	}
+
+	r.Execs = newExecs
+	r.Graph = newG
+	return stats, nil
+}
+
+// adopt remaps the executor's per-operator bookkeeping from the old
+// subplan's operators onto the state-identical new subplan's by walking the
+// two operator trees in lockstep (a subplan's interior is a proper tree —
+// multi-parent operators are always subplan roots). Operator instances,
+// input readers, the output log and all accumulated work carry over
+// untouched; only the map keys change identity.
+func (se *SubplanExec) adopt(oldSub, newSub *mqo.Subplan) {
+	ops := make(map[*mqo.Op]operator, len(se.ops))
+	member := make(map[*mqo.Op]bool, len(se.member))
+	inputs := make(map[inputKey]*buffer.Reader, len(se.inputs))
+	opWork := make(map[*mqo.Op]Work, len(se.opWork))
+	var walk func(oldOp, newOp *mqo.Op)
+	walk = func(oldOp, newOp *mqo.Op) {
+		ops[newOp] = se.ops[oldOp]
+		member[newOp] = true
+		opWork[newOp] = se.opWork[oldOp]
+		if oldOp.Kind == mqo.KindScan {
+			inputs[inputKey{newOp, 0}] = se.inputs[inputKey{oldOp, 0}]
+			return
+		}
+		for i := range oldOp.Children {
+			oc, nc := oldOp.Children[i], newOp.Children[i]
+			if se.member[oc] {
+				walk(oc, nc)
+			} else {
+				inputs[inputKey{newOp, i}] = se.inputs[inputKey{oldOp, i}]
+			}
+		}
+	}
+	walk(oldSub.Root, newSub.Root)
+	se.Sub = newSub
+	se.ops, se.member, se.inputs, se.opWork = ops, member, inputs, opWork
+}
+
+// setReplayLimits caps every input reader at window k's marks: base-table
+// readers at the stream mark, child-subplan readers at the child executor's
+// window-k output mark.
+func (se *SubplanExec) setReplayLimits(g *mqo.Graph, marks map[string]int, execs []*SubplanExec, k int) {
+	for key, rd := range se.inputs {
+		if key.op.Kind == mqo.KindScan {
+			rd.SetLimit(marks[key.op.Table.Name])
+			continue
+		}
+		child := g.SubplanOf(key.op.Children[key.slot])
+		rd.SetLimit(execs[child.ID].winOut[k])
+	}
+}
+
+// clearReplayLimits removes the caps so post-graft execution reads freely.
+func (se *SubplanExec) clearReplayLimits() {
+	for _, rd := range se.inputs {
+		rd.ClearLimit()
+	}
+}

@@ -90,24 +90,7 @@ func (r *Runner) RunParallel(paces []int, workers int) (*Report, error) {
 		start = end
 	}
 
-	rep := &Report{
-		Paces:        append([]int(nil), paces...),
-		SubplanTotal: make([]int64, len(r.Execs)),
-		SubplanFinal: make([]int64, len(r.Execs)),
-		QueryFinal:   make([]int64, r.Graph.Plan.NumQueries()),
-		Wall:         time.Since(startTime),
-	}
-	for i, se := range r.Execs {
-		rep.SubplanTotal[i] = se.TotalWork().Total()
-		rep.SubplanFinal[i] = se.FinalWork().Total()
-		rep.TotalWork += rep.SubplanTotal[i]
-	}
-	for q := range rep.QueryFinal {
-		for _, s := range r.Graph.QuerySubplans(q) {
-			rep.QueryFinal[q] += rep.SubplanFinal[s.ID]
-		}
-	}
-	return rep, nil
+	return r.report(paces, time.Since(startTime)), nil
 }
 
 func runWave(r *Runner, subs []int, workers int) {

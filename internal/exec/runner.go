@@ -46,6 +46,19 @@ type Runner struct {
 	// windowBase marks, per table, where the current trigger window's
 	// stream starts (see StartWindow); zero for single-window Run use.
 	windowBase map[string]int
+
+	// batch is the vectorized chunk size, kept so Graft can build fresh
+	// executors that chunk identically to the originals.
+	batch int
+	// winData records, at each window seal, the length of every stream in
+	// Data (all names, not just scanned tables — a later plan revision may
+	// start scanning a table that has been arriving unobserved). Together
+	// with each executor's per-seal output marks it lets Graft replay a
+	// rebuilt subplan through the exact same window-by-window history a
+	// from-scratch run would have seen.
+	winData []map[string]int
+	// winOpen reports whether deltas have arrived since the last seal.
+	winOpen bool
 }
 
 // NewRunner builds fresh operator state, buffers and table logs for an
@@ -88,6 +101,15 @@ func NewDeltaRunnerBatch(g *mqo.Graph, data DeltaDataset, batch int) (*Runner, e
 		tables:     make(map[string]*buffer.Log),
 		appended:   make(map[string]int),
 		windowBase: make(map[string]int),
+		batch:      batch,
+	}
+	// A non-empty construction dataset is the first (implicit) window: if
+	// the plan is later grafted, that history must be replayable.
+	for _, ts := range data {
+		if len(ts) > 0 {
+			r.winOpen = true
+			break
+		}
 	}
 	// Every scanned table needs data (possibly empty).
 	for _, s := range g.Subplans {
@@ -198,8 +220,11 @@ func (r *Runner) Run(paces []int) (*Report, error) {
 			trace.Arg{Key: "work", Value: w.Total()})
 		r.CountWork(w)
 	}
-	wall := time.Since(start)
+	return r.report(paces, time.Since(start)), nil
+}
 
+// report builds the cumulative modeled-work report.
+func (r *Runner) report(paces []int, wall time.Duration) *Report {
 	rep := &Report{
 		Paces:        append([]int(nil), paces...),
 		SubplanTotal: make([]int64, len(r.Execs)),
@@ -217,8 +242,13 @@ func (r *Runner) Run(paces []int) (*Report, error) {
 			rep.QueryFinal[q] += rep.SubplanFinal[s.ID]
 		}
 	}
-	return rep, nil
+	return rep
 }
+
+// ReportNow returns the cumulative modeled-work report of everything
+// executed so far, without running anything — the windowed (StartWindow /
+// RunSubplan) driving mode's equivalent of Run's return value.
+func (r *Runner) ReportNow() *Report { return r.report(nil, 0) }
 
 // arriveUpTo appends each table's deltas up to fraction j/p of the current
 // window's stream (the whole stream when StartWindow was never called).
@@ -243,11 +273,35 @@ func (r *Runner) arriveUpTo(j, p int) {
 // multi-window executions through this; Run and RunParallel consume the
 // single window the Runner was constructed with.
 func (r *Runner) StartWindow(arrivals DeltaDataset) {
+	r.sealWindow()
+	r.winOpen = true
 	for name := range r.tables {
 		r.windowBase[name] = len(r.Data[name])
 	}
 	for name, ts := range arrivals {
 		r.Data[name] = append(r.Data[name], ts...)
+	}
+}
+
+// sealWindow closes the current window for graft bookkeeping: it records
+// every stream's current length and every executor's current output length,
+// forming one replayable unit of history. No-op when no window is open, so
+// empty windows are still sealed exactly once — a rebuilt subplan must
+// replay one execution per window even when the window carried no data (the
+// per-execution fixed startup cost is part of the modeled work a
+// from-scratch run would report).
+func (r *Runner) sealWindow() {
+	if !r.winOpen {
+		return
+	}
+	r.winOpen = false
+	marks := make(map[string]int, len(r.Data))
+	for name, ts := range r.Data {
+		marks[name] = len(ts)
+	}
+	r.winData = append(r.winData, marks)
+	for _, se := range r.Execs {
+		se.winOut = append(se.winOut, se.Out.Len())
 	}
 }
 
@@ -299,8 +353,12 @@ func (r *Runner) CountWork(w Work) {
 	}
 }
 
-// Results returns query q's current materialized result rows.
+// Results returns query q's current materialized result rows; nil for an
+// inactive (retired / not-yet-admitted) query slot.
 func (r *Runner) Results(q int) []value.Row {
 	root := r.Graph.QueryRootSubplan[q]
+	if root == nil {
+		return nil
+	}
 	return materialized(r.Execs[root.ID].Out, q)
 }

@@ -24,6 +24,10 @@ type SubplanExec struct {
 	inputs  map[inputKey]*buffer.Reader
 	perExec []Work
 	opWork  map[*mqo.Op]Work
+	// winOut records Out.Len() at each window seal (see Runner.sealWindow):
+	// the marks that let a graft feed a rebuilt parent subplan exactly this
+	// executor's window-k output during replay.
+	winOut []int
 }
 
 type inputKey struct {

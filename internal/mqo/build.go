@@ -46,7 +46,18 @@ func BuildWithOptions(queries []plan.Query, opts BuildOptions) (*SharedPlan, err
 	}
 	sp := &SharedPlan{}
 	b := &builder{sp: sp, bySig: make(map[string]*Op), classes: opts.Classes}
+	active := 0
 	for q, query := range queries {
+		if query.Root == nil {
+			// An inactive slot: a query that has been retired from (or not
+			// yet admitted to) a live plan. The slot stays so query ids —
+			// and therefore tuple bitvector positions — never shift, but it
+			// contributes no operators. See opt.Live.
+			sp.QueryRoots = append(sp.QueryRoots, nil)
+			sp.QueryNames = append(sp.QueryNames, query.Name)
+			continue
+		}
+		active++
 		if err := plan.Validate(query.Root); err != nil {
 			return nil, fmt.Errorf("mqo: query %s: %w", query.Name, err)
 		}
@@ -65,6 +76,9 @@ func BuildWithOptions(queries []plan.Query, opts BuildOptions) (*SharedPlan, err
 		coreOp.Parents = append(coreOp.Parents, root)
 		sp.QueryRoots = append(sp.QueryRoots, root)
 		sp.QueryNames = append(sp.QueryNames, query.Name)
+	}
+	if active == 0 {
+		return nil, fmt.Errorf("mqo: no active queries (%d inactive slots)", len(queries))
 	}
 	if err := sp.Validate(); err != nil {
 		return nil, err

@@ -228,11 +228,15 @@ type SharedPlan struct {
 // NumQueries returns the number of queries in the plan.
 func (sp *SharedPlan) NumQueries() int { return len(sp.QueryRoots) }
 
-// AllQueries returns the set of every query id.
+// AllQueries returns the set of every active query id (inactive slots —
+// nil QueryRoots entries from retired/not-yet-admitted queries — are
+// skipped).
 func (sp *SharedPlan) AllQueries() Bitset {
 	var b Bitset
-	for q := range sp.QueryRoots {
-		b = b.With(q)
+	for q, root := range sp.QueryRoots {
+		if root != nil {
+			b = b.With(q)
+		}
 	}
 	return b
 }
@@ -249,6 +253,10 @@ func (sp *SharedPlan) NewOp(kind Kind) *Op {
 func (sp *SharedPlan) Explain() string {
 	var b strings.Builder
 	for q, root := range sp.QueryRoots {
+		if root == nil {
+			fmt.Fprintf(&b, "-- %s (inactive) --\n", sp.QueryNames[q])
+			continue
+		}
 		fmt.Fprintf(&b, "-- %s --\n", sp.QueryNames[q])
 		sp.explainOp(&b, root, 0)
 	}

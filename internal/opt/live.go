@@ -1,0 +1,208 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"ishare/internal/cost"
+	"ishare/internal/decompose"
+	"ishare/internal/mqo"
+	"ishare/internal/pace"
+	"ishare/internal/plan"
+)
+
+// Live is a shared plan being served online: queries are admitted to and
+// retired from it while the engine runs. Query slots are positional and
+// never renumbered — a retired slot keeps its index (with a nil plan) so
+// tuple bitvector positions, constraints and results stay stable for every
+// other query — and admission reuses the lowest inactive slot before
+// growing, keeping the plan under the bitvector limit indefinitely.
+//
+// Every revision is planned by rebuilding the shared graph over the active
+// slots (deterministically, so the result is identical to a from-scratch
+// build of the same query set), then warm-starting the pace search:
+// state-identical subplans are matched against the previous revision
+// (mqo.MatchSubplans) and the memoized cost model transplanted across
+// (cost.Model.AdoptMemo), so the greedy search re-simulates only the
+// subplan chain the admission actually changed while still walking the
+// exact same search path — and therefore choosing the exact same pace
+// vector — as a cold replan.
+type Live struct {
+	// Graph, Model and Paces describe the current plan revision. Callers
+	// execute it (exec.Runner.Graft / sched.Scheduler.Graft) but must treat
+	// the fields as read-only.
+	Graph *mqo.Graph
+	Model *cost.Model
+	Paces []int
+
+	queries     []plan.Query
+	constraints []float64
+	classes     func(sig string, q int) int
+	maxPace     int
+	workers     int
+	calib       cost.Calibration
+}
+
+// AdmitReport describes what one admission or retirement did.
+type AdmitReport struct {
+	// Slot is the query slot admitted into or retired from.
+	Slot int
+	// Matched and Fresh count subplans that carried over from the previous
+	// revision versus subplans new to this one.
+	Matched, Fresh int
+	// MemoSeeded is the number of cost-model memo entries transplanted.
+	MemoSeeded int
+	// Sims and Evals are the warm pace search's simulation and evaluation
+	// counts — compare against a cold replan's to see the saving.
+	Sims, Evals int64
+	// Paces is the new pace vector.
+	Paces []int
+}
+
+// NewLive plans the initial query set and returns the live plan. splits
+// optionally freezes a previously adopted decomposition (Planned.Splits):
+// rebuilds keep its sharing classes, with later-admitted queries defaulting
+// to the maximally shared class.
+func NewLive(req Request, splits map[string][]mqo.Bitset) (*Live, error) {
+	if len(req.Constraints) != len(req.Queries) {
+		return nil, fmt.Errorf("opt: %d constraints for %d queries", len(req.Constraints), len(req.Queries))
+	}
+	if req.MaxPace < 1 {
+		return nil, fmt.Errorf("opt: max pace %d", req.MaxPace)
+	}
+	l := &Live{
+		queries:     append([]plan.Query(nil), req.Queries...),
+		constraints: append([]float64(nil), req.Constraints...),
+		classes:     decompose.ClassesFromSplits(splits),
+		maxPace:     req.MaxPace,
+		workers:     req.Workers,
+		calib:       req.Calibration,
+	}
+	if _, err := l.replan(nil, nil); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NumSlots returns the number of query slots, active or not.
+func (l *Live) NumSlots() int { return len(l.queries) }
+
+// Active reports whether slot q currently serves a query.
+func (l *Live) Active(q int) bool { return q < len(l.queries) && l.queries[q].Root != nil }
+
+// Admit adds a query to the running plan under an absolute final-work
+// constraint, returning the slot it was assigned and a report on how much
+// of the previous revision carried over.
+func (l *Live) Admit(q plan.Query, constraint float64) (int, *AdmitReport, error) {
+	if q.Root == nil {
+		return -1, nil, fmt.Errorf("opt: admit: query %q has no plan", q.Name)
+	}
+	slot := -1
+	for i := range l.queries {
+		if l.queries[i].Root == nil {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		if len(l.queries) >= mqo.MaxQueries {
+			return -1, nil, fmt.Errorf("opt: admit: all %d query slots active", mqo.MaxQueries)
+		}
+		slot = len(l.queries)
+		l.queries = append(l.queries, plan.Query{})
+		l.constraints = append(l.constraints, math.Inf(1))
+	}
+	rep, err := l.replan(func() {
+		l.queries[slot] = q
+		l.constraints[slot] = constraint
+	}, func() {
+		l.queries[slot] = plan.Query{}
+		l.constraints[slot] = math.Inf(1)
+	})
+	if err != nil {
+		return -1, nil, err
+	}
+	rep.Slot = slot
+	return slot, rep, nil
+}
+
+// Retire removes the query in slot q from the running plan. The slot goes
+// inactive (it is never renumbered) and may be reused by a later admission.
+// The last active query cannot be retired — a shared plan must serve
+// something.
+func (l *Live) Retire(q int) (*AdmitReport, error) {
+	if !l.Active(q) {
+		return nil, fmt.Errorf("opt: retire: slot %d is not active", q)
+	}
+	active := 0
+	for i := range l.queries {
+		if l.queries[i].Root != nil {
+			active++
+		}
+	}
+	if active == 1 {
+		return nil, fmt.Errorf("opt: retire: slot %d is the last active query", q)
+	}
+	old, oldC := l.queries[q], l.constraints[q]
+	rep, err := l.replan(func() {
+		l.queries[q] = plan.Query{}
+		l.constraints[q] = math.Inf(1)
+	}, func() {
+		l.queries[q] = old
+		l.constraints[q] = oldC
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Slot = q
+	return rep, nil
+}
+
+// replan rebuilds the shared graph over the current slots (after applying
+// the optional mutation), transplants the memoized cost model from the
+// previous revision, and re-runs the pace search from the batch start. On
+// any error the mutation is rolled back and the previous revision stays
+// installed.
+func (l *Live) replan(apply, rollback func()) (*AdmitReport, error) {
+	if apply != nil {
+		apply()
+	}
+	fail := func(err error) (*AdmitReport, error) {
+		if rollback != nil {
+			rollback()
+		}
+		return nil, err
+	}
+	sp, err := mqo.BuildWithOptions(l.queries, mqo.BuildOptions{Classes: l.classes})
+	if err != nil {
+		return fail(err)
+	}
+	g, err := mqo.Extract(sp)
+	if err != nil {
+		return fail(err)
+	}
+	m := cost.NewModel(g)
+	if l.calib != nil {
+		m.SetCalibration(l.calib)
+	}
+	rep := &AdmitReport{}
+	if l.Graph != nil {
+		match := mqo.MatchSubplans(l.Graph, g)
+		rep.Matched = len(match)
+		rep.MemoSeeded = m.AdoptMemo(l.Model, match)
+	}
+	rep.Fresh = len(g.Subplans) - rep.Matched
+	o, err := pace.NewOptimizer(m, l.constraints, l.maxPace)
+	if err != nil {
+		return fail(err)
+	}
+	o.Workers = l.workers
+	paces, _, err := o.GreedyFrom(pace.Ones(len(g.Subplans)))
+	if err != nil {
+		return fail(err)
+	}
+	l.Graph, l.Model, l.Paces = g, m, paces
+	rep.Sims, rep.Evals = m.Sims, o.Evals
+	rep.Paces = append([]int(nil), paces...)
+	return rep, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ishare/internal/cost"
+	"ishare/internal/decompose"
 	"ishare/internal/mqo"
 	"ishare/internal/plan"
 )
@@ -92,14 +93,7 @@ func Load(data []byte, queries []plan.Query) (*Planned, error) {
 				}
 				splits[sig] = parts
 			}
-			opts.Classes = func(sig string, q int) int {
-				for i, p := range splits[sig] {
-					if p.Has(q) {
-						return i + 1
-					}
-				}
-				return 0
-			}
+			opts.Classes = decompose.ClassesFromSplits(splits)
 		}
 		sp, err := mqo.BuildWithOptions(sub, opts)
 		if err != nil {

@@ -1,0 +1,220 @@
+package oracle
+
+import (
+	"fmt"
+
+	"ishare/internal/delta"
+	"ishare/internal/exec"
+	"ishare/internal/mqo"
+	"ishare/internal/plan"
+	"ishare/internal/value"
+)
+
+// ChurnPlan schedules online admissions and retirements over a windowed
+// stream: each table's stream is split into Windows equal slices, and at the
+// boundary before window k every query q with Retire[q] == k leaves the plan
+// and every query with Admit[q] == k joins it (retirements first, so a
+// same-boundary admit may reuse the freed slot). Admit[q] = 0 means present
+// from the start; Retire[q] = -1 means the query serves until the end. Slots
+// follow opt.Live's policy — lowest inactive slot first, never renumbered —
+// so the differential harness exercises the same layouts the production
+// admission path produces.
+type ChurnPlan struct {
+	Windows int
+	Admit   []int
+	Retire  []int
+}
+
+// activeIn reports whether query q is being served during window k.
+func (cp *ChurnPlan) activeIn(q, k int) bool {
+	return cp.Admit[q] <= k && (cp.Retire[q] == -1 || cp.Retire[q] > k)
+}
+
+func (cp *ChurnPlan) validate(nq int) error {
+	if cp.Windows < 1 {
+		return fmt.Errorf("churn: %d windows", cp.Windows)
+	}
+	if len(cp.Admit) != nq || len(cp.Retire) != nq {
+		return fmt.Errorf("churn: %d admits / %d retires for %d queries", len(cp.Admit), len(cp.Retire), nq)
+	}
+	for q := 0; q < nq; q++ {
+		if cp.Admit[q] < 0 || cp.Admit[q] >= cp.Windows {
+			return fmt.Errorf("churn: query %d admitted at window %d of %d", q, cp.Admit[q], cp.Windows)
+		}
+		if cp.Retire[q] != -1 && (cp.Retire[q] <= cp.Admit[q] || cp.Retire[q] >= cp.Windows) {
+			return fmt.Errorf("churn: query %d admitted at %d retired at %d", q, cp.Admit[q], cp.Retire[q])
+		}
+	}
+	for k := 0; k < cp.Windows; k++ {
+		live := 0
+		for q := 0; q < nq; q++ {
+			if cp.activeIn(q, k) {
+				live++
+			}
+		}
+		if live == 0 {
+			return fmt.Errorf("churn: window %d has no active query", k)
+		}
+	}
+	return nil
+}
+
+// checkChurn is the online-admission differential pass: the workload's churn
+// schedule is driven through the live engine twice — once with state
+// transplant enabled and once with every subplan force-rebuilt and replayed
+// (GraftOptions.DisableTransplant) — and each run must satisfy two oracles:
+//
+//  1. After every window, every live query's results equal the naive oracle
+//     evaluated over the stream prefix ingested so far — an admitted query
+//     observes the stream from genesis, exactly as if it had been present
+//     before the first window.
+//  2. At the end, the run's modeled-work report is byte-identical to a
+//     from-scratch batch engine serving the final slot layout over the same
+//     windows. Transplant and replay are both compared to the same
+//     reference, which also proves them identical to each other: carrying
+//     state across a graft must be observationally indistinguishable from
+//     rebuilding it.
+func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mismatch, error) {
+	cp := w.Churn
+	if err := cp.validate(len(queries)); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	W := cp.Windows
+
+	winData := func(k int) exec.DeltaDataset {
+		out := make(exec.DeltaDataset, len(data))
+		for name, ts := range data {
+			out[name] = ts[len(ts)*k/W : len(ts)*(k+1)/W]
+		}
+		return out
+	}
+	prefixTables := func(k int) map[string][]value.Row {
+		pre := make(map[string][]delta.Tuple, len(data))
+		for name, ts := range data {
+			pre[name] = ts[:len(ts)*(k+1)/W]
+		}
+		return FinalTables(pre)
+	}
+
+	// Slot layouts per window under the lowest-inactive-reuse policy.
+	layouts := make([][]plan.Query, W)
+	slotAt := make([][]int, W) // [k][q] = slot of query q during window k, -1 inactive
+	var slots []plan.Query
+	slotOf := make([]int, len(queries))
+	events := make([]bool, W) // does boundary k change the layout?
+	for q := range slotOf {
+		slotOf[q] = -1
+	}
+	for k := 0; k < W; k++ {
+		for q := range queries {
+			if cp.Retire[q] == k {
+				slots[slotOf[q]] = plan.Query{}
+				slotOf[q] = -1
+				events[k] = true
+			}
+		}
+		for q := range queries {
+			if cp.Admit[q] != k {
+				continue
+			}
+			slot := -1
+			for i := range slots {
+				if slots[i].Root == nil {
+					slot = i
+					break
+				}
+			}
+			if slot == -1 {
+				slots = append(slots, plan.Query{})
+				slot = len(slots) - 1
+			}
+			slots[slot] = queries[q]
+			slotOf[q] = slot
+			events[k] = true
+		}
+		layouts[k] = append([]plan.Query(nil), slots...)
+		slotAt[k] = append([]int(nil), slotOf...)
+	}
+
+	build := func(qs []plan.Query) (*mqo.Graph, error) {
+		sp, err := mqo.BuildWithOptions(qs, mqo.BuildOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return mqo.Extract(sp)
+	}
+	runWindow := func(r *exec.Runner, g *mqo.Graph, k int) {
+		r.StartWindow(winData(k))
+		r.ArriveWindow(1, 1)
+		for id := 0; id < len(g.Subplans); id++ {
+			r.RunSubplan(id)
+		}
+	}
+
+	// From-scratch reference: the final slot layout, present from genesis,
+	// driven over the same windows.
+	finalG, err := build(layouts[W-1])
+	if err != nil {
+		return nil, fmt.Errorf("oracle: churn: final build: %w", err)
+	}
+	ref, err := exec.NewDeltaRunner(finalG, exec.DeltaDataset{})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: churn: final runner: %w", err)
+	}
+	for k := 0; k < W; k++ {
+		runWindow(ref, finalG, k)
+	}
+	refReport := ref.ReportNow()
+
+	for _, disable := range []bool{false, true} {
+		mode := "transplant"
+		if disable {
+			mode = "replay"
+		}
+		g, err := build(layouts[0])
+		if err != nil {
+			return nil, fmt.Errorf("oracle: churn/%s: initial build: %w", mode, err)
+		}
+		runner, err := exec.NewDeltaRunner(g, exec.DeltaDataset{})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: churn/%s: runner: %w", mode, err)
+		}
+		for k := 0; k < W; k++ {
+			if k > 0 && events[k] {
+				ng, err := build(layouts[k])
+				if err != nil {
+					return nil, fmt.Errorf("oracle: churn/%s: build at window %d: %w", mode, k, err)
+				}
+				if _, err := runner.Graft(ng, exec.GraftOptions{DisableTransplant: disable}); err != nil {
+					return nil, fmt.Errorf("oracle: churn/%s: graft at window %d: %w", mode, k, err)
+				}
+				g = ng
+			}
+			runWindow(runner, g, k)
+			tables := prefixTables(k)
+			for q := range queries {
+				if !cp.activeIn(q, k) {
+					continue
+				}
+				got := Canon(runner.Results(slotAt[k][q]))
+				wantQ := Canon(Eval(queries[q].Root, tables, nil))
+				if !eqStrings(got, wantQ) {
+					return &Mismatch{
+						Config: fmt.Sprintf("churn/%s/window=%d/admit=%v/retire=%v", mode, k, cp.Admit, cp.Retire),
+						Query:  q, SQL: w.SQL[q], Got: got, Want: wantQ,
+					}, nil
+				}
+			}
+		}
+		if diff := reportDiff(refReport, runner.ReportNow()); diff != "" {
+			return &Mismatch{
+				Config: fmt.Sprintf("churn/%s/admit=%v/retire=%v", mode, cp.Admit, cp.Retire),
+				Query:  -1,
+				SQL:    "modeled work must match a from-scratch run of the final plan",
+				Got:    []string{diff},
+				Want:   []string{"report identical to from-scratch batch over the same windows"},
+			}, nil
+		}
+	}
+	return nil, nil
+}

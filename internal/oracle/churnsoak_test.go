@@ -1,0 +1,62 @@
+package oracle_test
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"ishare/internal/oracle"
+)
+
+// churnTime stretches TestChurnSoak to a wall-clock budget; the CI churn
+// soak job runs `-churntime 30s` under the race detector. Windows inside
+// each scenario are logical boundaries in the delta stream — the budget
+// only bounds how many random churn schedules are fuzzed.
+var churnTime = flag.Duration("churntime", 0, "wall-clock budget for the churn soak (0 = a few fixed iterations)")
+
+// TestChurnSoak fuzzes random workloads carrying random admission/retirement
+// schedules through the online-admission differential pass: every scenario
+// drives the live plan through exec.Runner.Graft with state transplant on
+// and off, checks each live query against the naive oracle after every
+// window, and requires the final modeled-work report to be byte-identical
+// to a from-scratch run of the final plan.
+func TestChurnSoak(t *testing.T) {
+	iters := 8
+	if testing.Short() {
+		iters = 4
+	}
+	deadline := time.Time{}
+	if *churnTime > 0 {
+		iters = 1 << 30
+		deadline = time.Now().Add(*churnTime)
+	}
+
+	genOpts := oracle.DefaultOptions()
+	genOpts.Churn = true
+	opts := oracle.CheckOptions{Churn: true, PaceVectors: 1}
+	checked := 0
+	for i := 0; i < iters; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			t.Logf("churn soak budget exhausted after %d scenarios (%d with churn plans)", i, checked)
+			break
+		}
+		// Offset past the deterministic TestDifferentialChurn range so the
+		// soak explores new seeds instead of re-proving checked ones.
+		seed := int64(1_000_000 + i*13)
+		w := oracle.Generate(seed, genOpts)
+		if w.Churn == nil {
+			continue
+		}
+		checked++
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nSQL: %v", seed, err, w.SQL)
+		}
+		if m != nil {
+			reportMismatch(t, w, m, opts)
+		}
+	}
+	if checked == 0 {
+		t.Error("no scenario carried a churn plan; generator drifted")
+	}
+}

@@ -81,6 +81,85 @@ func TestSchedulerInvariance(t *testing.T) {
 	}
 }
 
+// TestDifferentialChurn is the online-admission differential test: seeded
+// workloads carrying random churn schedules (queries admitted to and retired
+// from the live plan at window boundaries) are driven through the graft path
+// with state transplant on and off. Every live query must match the naive
+// oracle over the ingested prefix after every window, and the final
+// modeled-work report must be byte-identical to a from-scratch run of the
+// final plan — grafting must be observationally invisible.
+func TestDifferentialChurn(t *testing.T) {
+	workloads := 200
+	if !testing.Short() {
+		workloads = 1000
+	}
+	genOpts := oracle.DefaultOptions()
+	genOpts.Churn = true
+	opts := oracle.CheckOptions{Churn: true, PaceVectors: 1}
+	churned := 0
+	for seed := int64(0); seed < int64(workloads); seed++ {
+		w := oracle.Generate(seed, genOpts)
+		if w.Churn != nil {
+			churned++
+		}
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nSQL: %v", seed, err, w.SQL)
+		}
+		if m != nil {
+			reportMismatch(t, w, m, opts)
+		}
+	}
+	if churned < workloads/2 {
+		t.Errorf("only %d/%d workloads carried a churn plan; generator drifted", churned, workloads)
+	}
+}
+
+// TestInjectedAdmissionBugCaught proves the churn oracle has teeth: with the
+// graft's loose state matching enabled — adopting existing operator state
+// for an admitted query without catching up its bitvector stamps, the
+// classic online-admission bug — the differential test must find a
+// divergence and shrink it to a runnable reproducer.
+func TestInjectedAdmissionBugCaught(t *testing.T) {
+	exec.DebugGraftLooseMatch = true
+	defer func() { exec.DebugGraftLooseMatch = false }()
+
+	genOpts := oracle.DefaultOptions()
+	genOpts.Churn = true
+	opts := oracle.CheckOptions{Churn: true, PaceVectors: 1}
+	for seed := int64(0); seed < 300; seed++ {
+		w := oracle.Generate(seed, genOpts)
+		if w.Churn == nil {
+			continue
+		}
+		m, err := oracle.Check(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m == nil {
+			continue
+		}
+		shrunk := oracle.Shrink(w, failingFor(opts))
+		if sm, err := oracle.Check(shrunk, opts); err != nil || sm == nil {
+			t.Fatalf("shrink lost the failure: m=%v err=%v", sm, err)
+		}
+		if shrunk.Churn == nil {
+			t.Error("shrunk reproducer lost its churn plan — the bug needs an admission to fire")
+		}
+		if len(shrunk.SQL) > 3 {
+			t.Errorf("shrunk reproducer has %d queries, want ≤ 3", len(shrunk.SQL))
+		}
+		if shrunk.Deltas() > 16 {
+			t.Errorf("shrunk reproducer has %d deltas, want ≤ 16", shrunk.Deltas())
+		}
+		if t.Failed() {
+			t.Fatalf("reproducer:\n%s", oracle.ReproGo(shrunk))
+		}
+		return
+	}
+	t.Fatal("injected admission bug was never detected")
+}
+
 // TestDifferentialMinMax hammers the paper's hard case: MIN/MAX under
 // deletion-heavy streams, where retracting the extremum forces a rescan.
 func TestDifferentialMinMax(t *testing.T) {

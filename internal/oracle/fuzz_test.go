@@ -9,9 +9,12 @@ import (
 // FuzzEngineVsOracle lets the fuzzer drive the workload generator's seed
 // space (plus the MIN/MAX-heavy mode switch) through the full differential
 // harness. Every workload is executed under batch, random pace vectors,
-// Workers 1 and 4, and three decomposed builds, and compared against the
-// naive oracle. Corpus entries under testdata/fuzz replay known-tricky
-// seeds deterministically in normal `go test` runs.
+// Workers 1 and 4, three decomposed builds, and — for multi-query seeds,
+// which all carry a churn schedule — the online-admission graft path, and
+// compared against the naive oracle. Churn generation draws from the rand
+// stream after everything else, so enabling it preserves every corpus
+// seed's tables, streams and SQL. Corpus entries under testdata/fuzz replay
+// known-tricky seeds deterministically in normal `go test` runs.
 func FuzzEngineVsOracle(f *testing.F) {
 	f.Add(int64(0), false)
 	f.Add(int64(1), true)
@@ -20,6 +23,7 @@ func FuzzEngineVsOracle(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, minmax bool) {
 		genOpts := oracle.DefaultOptions()
 		genOpts.ForceMinMax = minmax
+		genOpts.Churn = true
 		w := oracle.Generate(seed, genOpts)
 		opts := oracle.DefaultCheckOptions()
 		m, err := oracle.Check(w, opts)

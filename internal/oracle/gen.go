@@ -23,6 +23,11 @@ type Options struct {
 	// ForceMinMax makes every aggregate query include a MIN or MAX and
 	// biases streams toward deletions — the paper's hard IVM case.
 	ForceMinMax bool
+	// Churn attaches a random ChurnPlan (admissions and retirements at
+	// window boundaries) to multi-query workloads. The plan is drawn after
+	// everything else, so the same seed yields identical tables, streams
+	// and SQL with the flag on or off.
+	Churn bool
 }
 
 // DefaultOptions returns the harness defaults.
@@ -45,6 +50,9 @@ type Workload struct {
 	Tables  []TableDef
 	Streams map[string][]delta.Tuple
 	SQL     []string
+	// Churn optionally schedules online admissions and retirements; nil
+	// means every query is present for the whole run.
+	Churn *ChurnPlan
 }
 
 // Catalog builds a catalog for the workload, with statistics derived from
@@ -156,7 +164,31 @@ func Generate(seed int64, opts Options) *Workload {
 			w.SQL = append(w.SQL, genQuery(r, from, cols, opts))
 		}
 	}
+	if opts.Churn && len(w.SQL) > 1 {
+		w.Churn = genChurn(r, len(w.SQL))
+	}
 	return w
+}
+
+// genChurn draws a random admission/retirement schedule. Query 0 anchors the
+// plan — admitted before the first window and never retired — so every
+// window has at least one live query and the schedule is always valid.
+func genChurn(r *rand.Rand, nq int) *ChurnPlan {
+	cp := &ChurnPlan{
+		Windows: 2 + r.Intn(3),
+		Admit:   make([]int, nq),
+		Retire:  make([]int, nq),
+	}
+	for q := range cp.Retire {
+		cp.Retire[q] = -1
+	}
+	for q := 1; q < nq; q++ {
+		cp.Admit[q] = r.Intn(cp.Windows)
+		if room := cp.Windows - 1 - cp.Admit[q]; room > 0 && r.Float64() < 0.4 {
+			cp.Retire[q] = cp.Admit[q] + 1 + r.Intn(room)
+		}
+	}
+	return cp
 }
 
 // genStream produces a prefix-consistent signed stream for one table.

@@ -28,6 +28,13 @@ type CheckOptions struct {
 	// degradation policy rewrites paces mid-run — and requires the
 	// trigger-point results to still match the oracle.
 	Scheduler bool
+	// Churn enables the online-admission differential pass for workloads
+	// carrying a ChurnPlan: the schedule is driven through exec.Runner.Graft
+	// with transplant on and off, every live query is checked against the
+	// naive oracle after every window, and the final modeled-work report
+	// must be byte-identical to a from-scratch run of the final plan. A
+	// no-op when the workload has no churn plan.
+	Churn bool
 	// BatchSizes, when non-empty, adds a metamorphic batch-invariance pass:
 	// the shared plan re-runs under one pace vector with each vectorized
 	// chunk size, and every run must produce both identical query results
@@ -49,6 +56,7 @@ func DefaultCheckOptions() CheckOptions {
 		Workers:     []int{1, 4},
 		Decompose:   true,
 		Scheduler:   true,
+		Churn:       true,
 		BatchSizes:  []int{1, 7, 1024},
 	}
 }
@@ -229,6 +237,13 @@ func Check(w *Workload, opts CheckOptions) (*Mismatch, error) {
 			if !eqStrings(got, want[q]) {
 				return &Mismatch{Config: config, Query: q, SQL: w.SQL[q], Got: got, Want: want[q]}, nil
 			}
+		}
+	}
+	// Churn-invariance: admitting and retiring queries on the live plan
+	// must be observationally identical to a from-scratch run.
+	if opts.Churn && w.Churn != nil {
+		if m, err := checkChurn(w, queries, data); m != nil || err != nil {
+			return m, err
 		}
 	}
 	if !opts.Decompose {

@@ -107,4 +107,89 @@ var shrunkSeeds = []shrunkSeed{
 			},
 		},
 	},
+	{
+		// Online admission onto a live shared subplan: q1 joins at the
+		// boundary before window 1, after the shared scan has already
+		// ingested (and partially retracted) window 0. The graft must
+		// rebuild the scan with both query bits and replay window 0 so
+		// q1's SUM sees the full history, while q0's grouped COUNT state
+		// carries forward untouched.
+		name: "churn-admit-onto-shared-subplan",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindInt}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Int(10)),
+					oracle.Ins(value.Int(2), value.Int(20)),
+					oracle.Del(value.Int(1), value.Int(10)),
+					oracle.Ins(value.Int(1), value.Int(30)),
+					oracle.Ins(value.Int(2), value.Int(40)),
+					oracle.Ins(value.Int(3), value.Int(50)),
+				},
+			},
+			SQL: []string{
+				"SELECT t0.c0, COUNT(*) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c0, SUM(t0.c1) FROM t0 GROUP BY t0.c0",
+			},
+			Churn: &oracle.ChurnPlan{Windows: 2, Admit: []int{0, 1}, Retire: []int{-1, -1}},
+		},
+	},
+	{
+		// Retiring the last sharer of a MIN/MAX group frees the aggregate
+		// state mid-stream: q1's MIN subplan leaves at the boundary before
+		// window 2, right before the deletions that would have forced its
+		// extremum rescan. The remaining query's plan must be byte-identical
+		// to one that never shared with it.
+		name: "churn-retire-last-minmax-sharer",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindFloat}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Float(0.5)),
+					oracle.Ins(value.Int(1), value.Float(-1.25)),
+					oracle.Ins(value.Int(2), value.Float(3)),
+					oracle.Del(value.Int(1), value.Float(-1.25)),
+					oracle.Del(value.Int(2), value.Float(3)),
+					oracle.Ins(value.Int(2), value.Float(2.25)),
+				},
+			},
+			SQL: []string{
+				"SELECT t0.c0, COUNT(*) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c0, MIN(t0.c1) FROM t0 GROUP BY t0.c0",
+			},
+			Churn: &oracle.ChurnPlan{Windows: 3, Admit: []int{0, 0}, Retire: []int{-1, 2}},
+		},
+	},
+	{
+		// Admit and retire the same signature in one boundary: q1 leaves
+		// and q2 — byte-identical SQL — takes over its freed slot at the
+		// boundary before window 1. The rebuilt plan is state-identical to
+		// the old one (same slot, same marker, same bitset), so the graft
+		// adopts every subplan wholesale, and q2 must inherit exactly the
+		// history q1 had accumulated.
+		name: "churn-same-signature-handover",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindInt}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Int(7)),
+					oracle.Ins(value.Int(2), value.Int(9)),
+					oracle.Del(value.Int(1), value.Int(7)),
+					oracle.Ins(value.Int(1), value.Int(11)),
+				},
+			},
+			SQL: []string{
+				"SELECT t0.c0, COUNT(*) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c0, MAX(t0.c1) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c0, MAX(t0.c1) FROM t0 GROUP BY t0.c0",
+			},
+			Churn: &oracle.ChurnPlan{Windows: 2, Admit: []int{0, 0, 1}, Retire: []int{-1, 1, -1}},
+		},
+	},
 }

@@ -8,12 +8,16 @@ import (
 	"ishare/internal/value"
 )
 
-// Shrink greedily minimizes a failing workload: it drops queries, then delta
-// chunks (ddmin-style halving down to single tuples), then unreferenced
-// columns and tables, keeping every candidate only if failing still reports
-// a failure. Delta removal repairs prefix-consistency (a deletion whose row
-// is no longer live is dropped too), so shrunk streams stay inside the
-// generator's contract and never introduce divergence of their own.
+// Shrink greedily minimizes a failing workload: it simplifies the churn
+// schedule (dropping it outright when the failure reproduces without churn),
+// drops queries, then delta chunks (ddmin-style halving down to single
+// tuples), then unreferenced columns and tables, keeping every candidate
+// only if failing still reports a failure. Delta removal repairs
+// prefix-consistency (a deletion whose row is no longer live is dropped
+// too), so shrunk streams stay inside the generator's contract and never
+// introduce divergence of their own. Churn candidates that break the
+// schedule's validity surface as harness errors, which the failing
+// predicate rejects, so the shrinker backs off rather than diverging.
 func Shrink(w *Workload, failing func(*Workload) bool) *Workload {
 	cur := cloneWorkload(w)
 	if !failing(cur) {
@@ -21,6 +25,9 @@ func Shrink(w *Workload, failing func(*Workload) bool) *Workload {
 	}
 	for pass := 0; pass < 4; pass++ {
 		changed := false
+		if shrinkChurn(cur, failing) {
+			changed = true
+		}
 		if shrinkQueries(cur, failing) {
 			changed = true
 		}
@@ -50,7 +57,50 @@ func cloneWorkload(w *Workload) *Workload {
 		c.Streams[name] = append([]delta.Tuple(nil), s...)
 	}
 	c.SQL = append([]string(nil), w.SQL...)
+	if w.Churn != nil {
+		c.Churn = &ChurnPlan{
+			Windows: w.Churn.Windows,
+			Admit:   append([]int(nil), w.Churn.Admit...),
+			Retire:  append([]int(nil), w.Churn.Retire...),
+		}
+	}
 	return c
+}
+
+// shrinkChurn simplifies the churn schedule: first by removing it entirely
+// (the strongest simplification — the bug reproduces in a plain run), then
+// event by event, moving each admission to window 0 and cancelling each
+// retirement.
+func shrinkChurn(w *Workload, failing func(*Workload) bool) bool {
+	if w.Churn == nil {
+		return false
+	}
+	cand := cloneWorkload(w)
+	cand.Churn = nil
+	if failing(cand) {
+		*w = *cand
+		return true
+	}
+	changed := false
+	for q := range w.Churn.Admit {
+		if w.Churn.Admit[q] != 0 {
+			cand := cloneWorkload(w)
+			cand.Churn.Admit[q] = 0
+			if failing(cand) {
+				*w = *cand
+				changed = true
+			}
+		}
+		if w.Churn.Retire[q] != -1 {
+			cand := cloneWorkload(w)
+			cand.Churn.Retire[q] = -1
+			if failing(cand) {
+				*w = *cand
+				changed = true
+			}
+		}
+	}
+	return changed
 }
 
 func shrinkQueries(w *Workload, failing func(*Workload) bool) bool {
@@ -58,6 +108,13 @@ func shrinkQueries(w *Workload, failing func(*Workload) bool) bool {
 	for i := 0; i < len(w.SQL) && len(w.SQL) > 1; {
 		cand := cloneWorkload(w)
 		cand.SQL = append(cand.SQL[:i], cand.SQL[i+1:]...)
+		if cand.Churn != nil {
+			// Churn events ride with their query; an invalid remainder
+			// (e.g. a window left with no live query) is rejected by the
+			// harness and thus by failing.
+			cand.Churn.Admit = append(cand.Churn.Admit[:i], cand.Churn.Admit[i+1:]...)
+			cand.Churn.Retire = append(cand.Churn.Retire[:i], cand.Churn.Retire[i+1:]...)
+		}
 		if failing(cand) {
 			*w = *cand
 			changed = true
@@ -222,7 +279,12 @@ func ReproGo(w *Workload) string {
 	for _, s := range w.SQL {
 		fmt.Fprintf(&b, "\t\t%q,\n", s)
 	}
-	b.WriteString("\t},\n}\n")
+	b.WriteString("\t},\n")
+	if w.Churn != nil {
+		fmt.Fprintf(&b, "\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s},\n",
+			w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire))
+	}
+	b.WriteString("}\n")
 	b.WriteString("m, err := oracle.Check(w, oracle.DefaultCheckOptions())\n")
 	b.WriteString("if err != nil { t.Fatal(err) }\n")
 	b.WriteString("if m != nil { t.Fatalf(\"engine diverges from oracle: %v\", m) }\n")
@@ -244,6 +306,14 @@ func kindName(k value.Kind) string {
 	default:
 		return "Null"
 	}
+}
+
+func goInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[]int{" + strings.Join(parts, ", ") + "}"
 }
 
 func goRow(r value.Row) string {

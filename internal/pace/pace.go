@@ -280,24 +280,30 @@ func (st *searchTrace) decide(o *Optimizer, phase, action string, chosen int, sc
 // MaxPace, or no single increment yields any benefit. The search goroutine
 // (and, by inheritance, its candidate-evaluation workers) carries the pprof
 // label phase=opt, so CPU profiles attribute search samples.
-func (o *Optimizer) Greedy() (p []int, ev cost.Eval, err error) {
+func (o *Optimizer) Greedy() ([]int, cost.Eval, error) {
+	return o.GreedyFrom(Ones(len(o.Model.Graph.Subplans)))
+}
+
+// GreedyFrom is Greedy from an explicit starting configuration. Online
+// admission (opt.Live) uses it with the batch start plus a memo-transplanted
+// model: the search path — and therefore the resulting pace vector — is
+// identical to a cold search, only the simulations already performed on the
+// previous plan revision are skipped.
+func (o *Optimizer) GreedyFrom(start []int) (p []int, ev cost.Eval, err error) {
 	pprof.Do(context.Background(), pprof.Labels("phase", "opt"), func(context.Context) {
-		p, ev, err = o.greedy()
+		p, ev, err = o.greedyFrom(start)
 	})
 	return p, ev, err
 }
 
-func (o *Optimizer) greedy() ([]int, cost.Eval, error) {
+func (o *Optimizer) greedyFrom(start []int) ([]int, cost.Eval, error) {
 	if DebugObserveSearch != nil {
 		DebugObserveSearch(o)
 	}
 	st := o.beginSearch(tidGreedy, "pace.greedy")
 	defer st.end(o)
 	n := len(o.Model.Graph.Subplans)
-	p := make([]int, n)
-	for i := range p {
-		p[i] = 1
-	}
+	p := append([]int(nil), start...)
 	cur, err := o.eval(p)
 	if err != nil {
 		return nil, cost.Eval{}, err

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"ishare/internal/exec"
+	"ishare/internal/metrics"
+	"ishare/internal/mqo"
+)
+
+// Graft swaps the scheduler onto a new plan revision between windows: the
+// runner transplants or replays operator state (exec.Runner.Graft), then the
+// scheduler re-derives everything it sizes per subplan or per query — depth
+// vector, per-window accumulators, per-subplan counters and tracer threads —
+// from the new graph. Prior windows' Result entries and flushed metrics are
+// untouched: closeWindow has already settled them, so a run with grafts
+// produces a byte-identical prefix to the same run without.
+//
+// Graft is only legal between windows (after Tick closes one and before it
+// opens the next, or before the first Tick) and before the run completes.
+// The pace vector and deadlines must fit the new graph, exactly as New
+// requires.
+func (s *Scheduler) Graft(g *mqo.Graph, paces []int, deadlines []time.Duration) (*exec.GraftStats, error) {
+	if s.done {
+		return nil, fmt.Errorf("sched: graft after run completed")
+	}
+	if s.firings != nil {
+		return nil, fmt.Errorf("sched: graft inside window %d (between-windows only)", s.window)
+	}
+	if len(paces) != len(g.Subplans) {
+		return nil, fmt.Errorf("sched: graft: %d paces for %d subplans", len(paces), len(g.Subplans))
+	}
+	for i, p := range paces {
+		if p < 1 {
+			return nil, fmt.Errorf("sched: graft: subplan %d has pace %d < 1", i, p)
+		}
+	}
+	if len(deadlines) != g.Plan.NumQueries() {
+		return nil, fmt.Errorf("sched: graft: %d deadlines for %d queries", len(deadlines), g.Plan.NumQueries())
+	}
+	stats, err := s.runner.Graft(g, exec.GraftOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.graph = g
+	s.paces = append([]int(nil), paces...)
+	s.cfg.Deadlines = append([]time.Duration(nil), deadlines...)
+	n := len(g.Subplans)
+	s.depth = make([]int, n)
+	for _, sub := range g.Subplans { // children-first order
+		d := 0
+		for _, c := range sub.Children {
+			if s.depth[c.ID]+1 > d {
+				d = s.depth[c.ID] + 1
+			}
+		}
+		s.depth[sub.ID] = d
+	}
+	s.finish = make([]time.Time, n)
+	s.spent = make([]time.Duration, n)
+	s.winSubExecs = make([]int64, n)
+	s.winSubWork = make([]int64, n)
+	// Counters are registry-backed by name, so a subplan ID that exists in
+	// both revisions keeps accumulating into the same counter.
+	s.subExecs = make([]*metrics.Counter, n)
+	s.subWork = make([]*metrics.Counter, n)
+	for i := 0; i < n; i++ {
+		s.subExecs[i] = s.reg.Counter(fmt.Sprintf("sched.subplan.%d.executions", i))
+		s.subWork[i] = s.reg.Counter(fmt.Sprintf("sched.subplan.%d.work", i))
+	}
+	if s.tr != nil {
+		for _, sub := range g.Subplans {
+			s.tr.Thread(s.tracePid, 1+sub.ID, fmt.Sprintf("subplan %d", sub.ID))
+		}
+	}
+	return stats, nil
+}

@@ -2,13 +2,15 @@
 # check.sh — the repo's pre-merge gate: build, vet, the full test suite
 # under the race detector (the parallel pace search and the wave-parallel
 # executor must stay data-race-free), then a short fuzz smoke over the
-# native fuzz targets and a scheduler soak. Set SKIP_FUZZ=1 to stop after
-# the race tests, FUZZTIME (default 10s) to change the per-target fuzz
-# budget, and SOAKTIME (default 10s) for the scheduler soak.
+# native fuzz targets, a scheduler soak and a churn soak. Set SKIP_FUZZ=1
+# to stop after the race tests, FUZZTIME (default 10s) to change the
+# per-target fuzz budget, SOAKTIME (default 10s) for the scheduler soak,
+# and CHURNTIME (default 10s) for the online-admission churn soak.
 set -eu
 
 FUZZTIME="${FUZZTIME:-10s}"
 SOAKTIME="${SOAKTIME:-10s}"
+CHURNTIME="${CHURNTIME:-10s}"
 
 cd "$(dirname "$0")/.."
 
@@ -38,16 +40,19 @@ rm -f "$TRACE_OUT"
 # Informational benchmark diff: when both the frozen baseline and a current
 # bench-json report exist, print the per-benchmark deltas. Never fails the
 # gate — CI-runner noise is too high for a hard perf gate.
-if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then
+if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
 	echo "== bench-diff (informational)"
-	go run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json || true
+	go run ./cmd/benchdiff BENCH_PR6.json BENCH_PR7.json || true
 else
-	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR6.json)"
+	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR7.json)"
 fi
 
 if [ "${SKIP_FUZZ:-}" != "1" ]; then
 	echo "== scheduler soak ($SOAKTIME, race)"
 	go test ./internal/sched -race -run TestSchedulerSoak -soaktime "$SOAKTIME"
+
+	echo "== churn soak ($CHURNTIME, race)"
+	go test ./internal/oracle -race -run TestChurnSoak -churntime "$CHURNTIME"
 
 	echo "== fuzz smoke ($FUZZTIME per target)"
 	go test ./internal/oracle -run '^$' -fuzz FuzzEngineVsOracle -fuzztime "$FUZZTIME"

@@ -1,0 +1,248 @@
+package ishare
+
+import (
+	"fmt"
+
+	"ishare/internal/exec"
+	"ishare/internal/opt"
+	"ishare/internal/plan"
+)
+
+// Session serves a shared plan online: windows of data arrive one Step at a
+// time, and queries may be admitted to or retired from the running plan
+// between windows without discarding the operator state (join build sides,
+// group indexes, materialized buffers) accumulated so far. Admission grafts
+// the new query onto the live plan — subplans whose state is unaffected are
+// carried over wholesale, the rest are rebuilt and caught up by replaying the
+// retained input history — and warm-starts the pace search from the previous
+// revision's memoized cost model, so it re-simulates only what changed while
+// still choosing the exact pace vector a from-scratch optimization would.
+//
+// A Session always runs the full iShare shared plan at batch pace (one
+// execution per subplan per window); it is the online counterpart of
+// Engine.Run, not of the scheduler.
+type Session struct {
+	engine  *Engine
+	live    *opt.Live
+	runner  *exec.Runner
+	names   []string     // slot-indexed; "" = inactive
+	queries []plan.Query // slot-indexed; zero value = inactive
+	windows int
+	work    int64
+}
+
+// AdmitStats reports what one admission or retirement did to the live plan.
+type AdmitStats struct {
+	// Slot is the query slot admitted into or retired from. Slots are
+	// positional and never renumbered; retired slots are reused.
+	Slot int
+	// MatchedSubplans carried their operator state over from the previous
+	// plan revision; FreshSubplans were rebuilt and replayed from history.
+	MatchedSubplans, FreshSubplans int
+	// MemoSeeded counts cost-model memo entries transplanted into the new
+	// revision — the warm start of the pace search.
+	MemoSeeded int
+	// Sims is how many cost simulations the warm pace search ran; compare
+	// against a cold replan (e.g. a fresh Session over the same queries) to
+	// see the saving. Evals counts candidate evaluations.
+	Sims, Evals int64
+	// Replayed counts window replays performed to catch fresh subplans up.
+	Replayed int
+	// Paces is the pace vector of the new revision.
+	Paces []int
+}
+
+// StartSession begins serving the engine's registered queries online.
+// Options.Approach is ignored: sessions always run the shared plan.
+func (e *Engine) StartSession(o Options) (*Session, error) {
+	if len(e.queries) == 0 {
+		return nil, fmt.Errorf("ishare: no queries registered")
+	}
+	if o.MaxPace == 0 {
+		o.MaxPace = 50
+	}
+	abs, err := opt.AbsoluteConstraints(e.queries, e.rel)
+	if err != nil {
+		return nil, err
+	}
+	for name, v := range o.AbsoluteConstraints {
+		found := false
+		for q, qn := range e.names {
+			if qn == name {
+				abs[q] = v
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("ishare: absolute constraint for unknown query %q", name)
+		}
+	}
+	live, err := opt.NewLive(opt.Request{
+		Queries:     e.queries,
+		Constraints: abs,
+		MaxPace:     o.MaxPace,
+		Calibration: o.Calibration,
+		Workers:     o.OptWorkers,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := exec.NewDeltaRunner(live.Graph, exec.DeltaDataset{})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		engine:  e,
+		live:    live,
+		runner:  runner,
+		names:   append([]string(nil), e.names...),
+		queries: append([]plan.Query(nil), e.queries...),
+	}, nil
+}
+
+// Slot returns the slot serving the named query, or -1.
+func (s *Session) Slot(name string) int {
+	for i, n := range s.names {
+		if n == name && n != "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueryNames lists the currently active query names in slot order.
+func (s *Session) QueryNames() []string {
+	out := make([]string, 0, len(s.names))
+	for _, n := range s.names {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Admit adds a query to the running plan under a relative final-work
+// constraint (as in Engine.AddQuery). The query starts observing data from
+// the beginning of the stream: shared subplans it joins are either adopted
+// as-is (when their state is provably identical) or rebuilt and caught up by
+// replaying the retained window history, so its results are identical to
+// having been registered before the first Step.
+func (s *Session) Admit(name, sql string, relConstraint float64) (*AdmitStats, error) {
+	if relConstraint <= 0 {
+		return nil, fmt.Errorf("ishare: query %s: relative constraint must be positive", name)
+	}
+	if s.Slot(name) >= 0 {
+		return nil, fmt.Errorf("ishare: query %q already active", name)
+	}
+	q, err := plan.ParseAndBindQuery(name, sql, s.engine.cat)
+	if err != nil {
+		return nil, fmt.Errorf("ishare: query %s: %w", name, err)
+	}
+	abs, err := opt.AbsoluteConstraints([]plan.Query{q}, []float64{relConstraint})
+	if err != nil {
+		return nil, err
+	}
+	slot, rep, err := s.live.Admit(q, abs[0])
+	if err != nil {
+		return nil, err
+	}
+	gs, err := s.runner.Graft(s.live.Graph, exec.GraftOptions{})
+	if err != nil {
+		// Best effort: put the plan back so the session stays usable.
+		s.live.Retire(slot)
+		return nil, err
+	}
+	for slot >= len(s.names) {
+		s.names = append(s.names, "")
+		s.queries = append(s.queries, plan.Query{})
+	}
+	s.names[slot] = name
+	s.queries[slot] = q
+	return admitStats(rep, gs), nil
+}
+
+// Retire removes the named query from the running plan. Operator state used
+// only by this query is freed with the plan revision; shared state the
+// remaining queries still need is carried over.
+func (s *Session) Retire(name string) (*AdmitStats, error) {
+	slot := s.Slot(name)
+	if slot < 0 {
+		return nil, fmt.Errorf("ishare: query %q is not active", name)
+	}
+	rep, err := s.live.Retire(slot)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := s.runner.Graft(s.live.Graph, exec.GraftOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.names[slot] = ""
+	s.queries[slot] = plan.Query{}
+	return admitStats(rep, gs), nil
+}
+
+func admitStats(rep *opt.AdmitReport, gs *exec.GraftStats) *AdmitStats {
+	return &AdmitStats{
+		Slot:            rep.Slot,
+		MatchedSubplans: rep.Matched,
+		FreshSubplans:   rep.Fresh,
+		MemoSeeded:      rep.MemoSeeded,
+		Sims:            rep.Sims,
+		Evals:           rep.Evals,
+		Replayed:        gs.Replayed,
+		Paces:           append([]int(nil), rep.Paces...),
+	}
+}
+
+// Step feeds one window of data (per table, rows in arrival order) through
+// the plan and returns the work units it cost.
+func (s *Session) Step(data map[string][]Row) (int64, error) {
+	ds, err := s.engine.convertDataset(data)
+	if err != nil {
+		return 0, err
+	}
+	s.runner.StartWindow(exec.InsertStream(ds))
+	s.runner.ArriveWindow(1, 1)
+	var work int64
+	for id := 0; id < len(s.live.Graph.Subplans); id++ {
+		work += s.runner.RunSubplan(id).Total()
+	}
+	s.windows++
+	s.work += work
+	return work, nil
+}
+
+// Windows returns how many windows have been stepped.
+func (s *Session) Windows() int { return s.windows }
+
+// TotalWork returns the summed work units of every execution so far,
+// including catch-up replays performed by admissions.
+func (s *Session) TotalWork() int64 { return s.runner.ReportNow().TotalWork }
+
+// SearchSims returns the cumulative number of cost simulations the current
+// plan revision's pace search ran — a diagnostic for comparing warm
+// admissions against cold replans.
+func (s *Session) SearchSims() int64 { return s.live.Model.Sims }
+
+// Paces returns the current revision's pace vector.
+func (s *Session) Paces() []int { return append([]int(nil), s.live.Paces...) }
+
+// Results returns the named query's materialized result rows over all data
+// stepped so far.
+func (s *Session) Results(name string) ([]Row, error) {
+	slot := s.Slot(name)
+	if slot < 0 {
+		return nil, fmt.Errorf("ishare: query %q is not active", name)
+	}
+	rows := s.queries[slot].Present.Apply(s.runner.Results(slot))
+	out := make([]Row, len(rows))
+	for i, row := range rows {
+		conv := make(Row, len(row))
+		for j, v := range row {
+			conv[j] = valueToIface(v)
+		}
+		out[i] = conv
+	}
+	return out, nil
+}
