@@ -76,8 +76,8 @@ func runChurn(out io.Writer, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "admitted bigspend into slot %d: %d/%d subplans carried over, %d rebuilt and caught up over %d window replays\n",
-		stats.Slot, stats.MatchedSubplans, stats.MatchedSubplans+stats.FreshSubplans, stats.FreshSubplans, stats.Replayed)
+	fmt.Fprintf(out, "admitted bigspend into slot %d: %d/%d subplans carried over, %d rebuilt and caught up over %d window replays, %d shared arrangements adopted\n",
+		stats.Slot, stats.MatchedSubplans, stats.MatchedSubplans+stats.FreshSubplans, stats.FreshSubplans, stats.Replayed, stats.SharedArrangements)
 
 	// Cold comparison: a fresh session over the same three queries pays the
 	// full pace search; the admission above reused the memoized cost model.

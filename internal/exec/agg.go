@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"ishare/internal/delta"
-	"ishare/internal/hashtab"
 	"ishare/internal/mqo"
 	"ishare/internal/ordset"
 	"ishare/internal/plan"
@@ -23,17 +22,22 @@ import (
 // group's value multiset, whose cost is what makes such queries (Q15)
 // non-incrementable.
 //
-// State layer: the group index is an open-addressing hash table
-// (internal/hashtab) over precomputed key hashes with arena-allocated
-// groups. Input is processed in chunks: group-by and argument expressions
-// evaluate column-at-a-time and the whole key column set is hashed in one
-// pass; the per-tuple remainder is a chain walk comparing key rows under
-// grouping-key semantics (value.RowKeyEqual — the same equivalence as the
-// AppendKey encoding) and a dense-slice accumulator update. Keys are encoded
-// to bytes only when a group is created (the encoding orders emission), and
-// interned so delete-then-reinsert churn reuses the string. All
-// per-execution scratch (the dirty set, emission buffers) is pooled on the
-// operator and reused across incremental executions.
+// The group index — the key→group hash table, encoded key strings and key
+// rows — lives in an aggArr arrangement and may be shared with other
+// aggregations over the same cone and GROUP BY keys; everything per-query
+// (counts, accumulators, last emitted rows) stays in this executor's dense
+// sidecar, indexed by the arrangement's stable group refs. Group refs are
+// monotone — a drained group's sidecar state is reset but the index entry
+// remains — so sidecar slots never alias across sharers no matter who
+// created which group first.
+//
+// Input is processed in chunks: group-by and argument expressions evaluate
+// column-at-a-time and the whole key column set is hashed in one pass; the
+// per-tuple remainder is a chain walk comparing key rows under grouping-key
+// semantics (value.RowKeyEqual — the same equivalence as the AppendKey
+// encoding) and a dense-slice accumulator update. All per-execution scratch
+// (the dirty set, emission buffers) is pooled on the operator and reused
+// across incremental executions.
 //
 // DebugSkipExtremumRescan, when set, makes MIN/MAX accumulators skip the
 // multiset rescan after their current extremum is retracted, leaving a stale
@@ -43,12 +47,17 @@ import (
 var DebugSkipExtremumRescan bool
 
 type aggExec struct {
-	op     *mqo.Op
-	batch  int
-	tab    hashtab.Table
-	arena  hashtab.Arena[groupState]
-	hasher *value.Hasher
-	intern vec.Interner
+	op    *mqo.Op
+	batch int
+	// arr is the (possibly shared) group index; side is this executor's
+	// per-group state, dense over the arrangement's group refs. liveGroups
+	// counts refs whose sidecar currently holds state.
+	arr        *aggArr
+	reg        *Registry
+	released   bool
+	side       []aggSlot
+	liveGroups int64
+	hasher     *value.Hasher
 	// queries caches op.Queries.Members(); qslot maps a query id to its
 	// dense slot in per-group accumulator arrays.
 	queries []int
@@ -65,14 +74,13 @@ type aggExec struct {
 	dirty  []int32
 	sorter dirtySorter
 
-	// Scratch buffers, reused across chunks and executions; group states
+	// Scratch buffers, reused across chunks and executions; sidecar slots
 	// clone what they retain.
 	ch     vec.Chunk
 	gbCols [][]value.Value
 	args   [][]value.Value
 	hashes []uint64
 	keyRow value.Row
-	keyBuf []byte
 	outBuf []delta.Tuple
 
 	// groupOutput scratch: cluster rows live in pooled per-index buffers
@@ -85,11 +93,9 @@ type aggExec struct {
 	// sameTuples scratch.
 	cmpUsed []bool
 
-	// Slab arenas for retained group state and emissions: key rows, dense
+	// Slab arenas for retained per-query state and emissions: dense
 	// counter/accumulator arrays and emitted output rows are carved from
-	// slabs instead of allocated per group. The arenas only reference their
-	// current slab, so state freed by group churn is collected slab-by-slab.
-	keyArena vec.RowArena
+	// slabs instead of allocated per group.
 	rowArena vec.RowArena
 	nArena   vec.SlabArena[int64]
 	accArena vec.SlabArena[accum]
@@ -105,6 +111,7 @@ func newAggExec(op *mqo.Op, batch int) *aggExec {
 	g := &aggExec{
 		op:      op,
 		batch:   batch,
+		arr:     &aggArr{},
 		hasher:  value.NewHasher(),
 		queries: op.Queries.Members(),
 		gbEvs:   make([]*vec.Eval, len(op.GroupBy)),
@@ -127,16 +134,38 @@ func newAggExec(op *mqo.Op, batch int) *aggExec {
 	return g
 }
 
-// groupState is one group's state: the interned encoded key (which orders
-// emission), the group-by row, and dense per-query accumulator arrays
-// (indexed by query slot, with naggs accumulators per query, flattened).
-// Groups with equal key hashes chain through next.
-type groupState struct {
+// attach re-keys the group index through the registry; accumulator state
+// stays private regardless (it is per-query by construction).
+func (g *aggExec) attach(reg *Registry) {
+	g.reg = reg
+	g.arr = reg.attachAgg(mqo.AggIndexArrangeKey(g.op))
+}
+
+func (g *aggExec) release(reg *Registry) {
+	if g.reg == nil || g.released {
+		return
+	}
+	g.released = true
+	reg.release(g.arr)
+}
+
+func (g *aggExec) handles() int {
+	if g.reg == nil || g.released {
+		return 0
+	}
+	return 1
+}
+
+// aggSlot is this executor's state for one shared group: the group key
+// (cached off the arrangement so sorting and emission never touch shared
+// memory), dense per-query-slot contribution counts and accumulators
+// (naggs per query, flattened), and the group's previously emitted output.
+// n == nil means the slot holds no state — either never touched by this
+// sharer, or reset after the group drained and its retractions flushed.
+type aggSlot struct {
 	key      string
-	hash     uint64
-	next     int32
-	dirtyGen uint64
 	keyRow   value.Row
+	dirtyGen uint64
 	// n counts contributing input tuples per query slot; the group exists
 	// for a query while its count is > 0.
 	n    []int64
@@ -251,42 +280,13 @@ func (a *accum) result(spec plan.AggSpec) value.Value {
 	}
 }
 
-// lookup walks the hash chain for keyRow, returning the group's arena
-// reference or -1. Chain members are disambiguated by comparing key rows
-// under grouping-key semantics; no key bytes are materialized.
-func (g *aggExec) lookup(h uint64, keyRow value.Row) int32 {
-	ref, ok := g.tab.Get(h)
-	if !ok {
-		return -1
+// slotAt returns the sidecar slot for a group ref, growing the dense side
+// slice to cover refs other sharers allocated.
+func (g *aggExec) slotAt(ref int32) *aggSlot {
+	for int(ref) >= len(g.side) {
+		g.side = append(g.side, aggSlot{})
 	}
-	for ref >= 0 {
-		gs := g.arena.At(ref)
-		if value.RowKeyEqual(gs.keyRow, keyRow) {
-			return ref
-		}
-		ref = gs.next
-	}
-	return -1
-}
-
-// deleteGroup unlinks the group from its hash chain and frees it.
-func (g *aggExec) deleteGroup(ref int32) {
-	gs := g.arena.At(ref)
-	head, _ := g.tab.Get(gs.hash)
-	if head == ref {
-		if gs.next >= 0 {
-			g.tab.Put(gs.hash, gs.next)
-		} else {
-			g.tab.Delete(gs.hash)
-		}
-	} else {
-		prev := head
-		for g.arena.At(prev).next != ref {
-			prev = g.arena.At(prev).next
-		}
-		g.arena.At(prev).next = gs.next
-	}
-	g.arena.Free(ref)
+	return &g.side[ref]
 }
 
 func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
@@ -320,43 +320,35 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		}
 		hashes := g.hashes[:len(tup)]
 		g.hasher.HashCols(g.gbCols, ch.Sel, hashes)
+		// The chunk's index lookups run under the arrangement lock (other
+		// aggregations may share it); sidecar state is private but cheap
+		// enough to update inside the same critical section.
+		g.arr.mu.Lock()
 		for _, i := range ch.Sel {
 			keyRow := g.keyRow[:0]
 			for _, col := range g.gbCols {
 				keyRow = append(keyRow, col[i])
 			}
 			g.keyRow = keyRow
-			h := hashes[i]
-			ref := g.lookup(h, keyRow)
-			if ref < 0 {
-				ref = g.arena.Alloc()
-				gs := g.arena.At(ref)
-				// The encoded key is materialized only here, on group
-				// creation; interning lets a recreated group reuse it.
-				g.keyBuf = value.AppendKey(g.keyBuf[:0], keyRow)
-				gs.key = g.intern.Intern(g.keyBuf)
-				gs.hash = h
-				gs.next = -1
-				kr := g.keyArena.NewRow(len(keyRow))
-				copy(kr, keyRow)
-				gs.keyRow = kr
-				gs.n = g.nArena.New(len(g.queries))
-				gs.accs = g.accArena.New(len(g.queries) * naggs)
-				if head, ok := g.tab.Get(h); ok {
-					gs.next = head
-				}
-				g.tab.Put(h, ref)
+			ref := g.arr.lookupOrCreate(hashes[i], keyRow)
+			sl := g.slotAt(ref)
+			if sl.n == nil {
+				gs := g.arr.arena.At(ref)
+				sl.key = gs.key
+				sl.keyRow = gs.keyRow
+				sl.n = g.nArena.New(len(g.queries))
+				sl.accs = g.accArena.New(len(g.queries) * naggs)
+				g.liveGroups++
 			}
-			gs := g.arena.At(ref)
-			if gs.dirtyGen != g.gen {
-				gs.dirtyGen = g.gen
+			if sl.dirtyGen != g.gen {
+				sl.dirtyGen = g.gen
 				g.dirty = append(g.dirty, ref)
 			}
 			sign := tup[i].Sign
 			for b := uint64(ch.Bits[i]); b != 0; b &^= b & (-b) {
 				q := bits.TrailingZeros64(b)
 				slot := g.qslot[q]
-				gs.n[slot] += int64(sign)
+				sl.n[slot] += int64(sign)
 				base := int(slot) * naggs
 				for k, spec := range g.op.Aggs {
 					var v value.Value
@@ -364,25 +356,28 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 						v = g.args[k][i]
 					}
 					w.State++
-					w.Rescan += gs.accs[base+k].update(spec, v, sign)
+					w.Rescan += sl.accs[base+k].update(spec, v, sign)
 				}
 			}
 		}
+		g.arr.mu.Unlock()
 	}
 
 	// Emit retractions and updated rows for every dirty group, in sorted
 	// key order so execution work is deterministic (index iteration order
 	// would otherwise vary the processing order of downstream deletes and
-	// with it the MIN/MAX rescan count).
+	// with it the MIN/MAX rescan count). Everything below reads only the
+	// sidecar — key strings and key rows were cached at first touch — so
+	// emission runs lock-free.
 	sort.Sort(&g.sorter)
 	out := g.outBuf[:0]
 	for _, ref := range g.dirty {
-		gs := g.arena.At(ref)
-		newOut := g.groupOutput(gs)
-		if g.sameTuples(gs.lastOut, newOut) {
+		sl := &g.side[ref]
+		newOut := g.groupOutput(sl)
+		if g.sameTuples(sl.lastOut, newOut) {
 			continue
 		}
-		for _, t := range gs.lastOut {
+		for _, t := range sl.lastOut {
 			out = append(out, delta.Tuple{Row: t.Row, Bits: t.Bits, Sign: delta.Delete})
 			w.Output++
 		}
@@ -391,7 +386,7 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 		// and as lastOut. The replaced lastOut's backing is reused (its
 		// tuples were copied into out above); rows are carved from the
 		// emission arena.
-		retained := gs.lastOut[:0]
+		retained := sl.lastOut[:0]
 		if cap(retained) < len(newOut) {
 			retained = g.tupArena.New(len(newOut))[:0]
 		}
@@ -402,9 +397,14 @@ func (g *aggExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
 			out = append(out, retained[len(retained)-1])
 			w.Output++
 		}
-		gs.lastOut = retained
-		if len(retained) == 0 && groupDead(gs) {
-			g.deleteGroup(ref)
+		sl.lastOut = retained
+		if len(retained) == 0 && groupDead(sl.n) {
+			// The group drained for every query this sharer serves: drop the
+			// per-query state. The index entry itself is monotone — it stays
+			// in the arrangement (other sharers may still hold it), and a
+			// recreated group reuses the same ref with fresh accumulators.
+			sl.n, sl.accs, sl.lastOut = nil, nil, nil
+			g.liveGroups--
 		}
 	}
 	g.outBuf = out
@@ -419,7 +419,7 @@ type dirtySorter struct {
 
 func (s *dirtySorter) Len() int { return len(s.g.dirty) }
 func (s *dirtySorter) Less(i, j int) bool {
-	return s.g.arena.At(s.g.dirty[i]).key < s.g.arena.At(s.g.dirty[j]).key
+	return s.g.side[s.g.dirty[i]].key < s.g.side[s.g.dirty[j]].key
 }
 func (s *dirtySorter) Swap(i, j int) {
 	d := s.g.dirty
@@ -431,19 +431,19 @@ func (s *dirtySorter) Swap(i, j int) {
 // one tuple carrying their combined bits. The returned tuples (and their
 // rows) alias pooled buffers valid until the next call; callers clone what
 // they retain.
-func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
+func (g *aggExec) groupOutput(sl *aggSlot) []delta.Tuple {
 	clusters := g.clusters[:0]
 	clRows := g.clRows
 	naggs := len(g.op.Aggs)
 	for slot, q := range g.queries {
-		if gs.n[slot] <= 0 {
+		if sl.n[slot] <= 0 {
 			continue
 		}
 		row := g.rowBuf[:0]
-		row = append(row, gs.keyRow...)
+		row = append(row, sl.keyRow...)
 		base := slot * naggs
 		for i, spec := range g.op.Aggs {
-			row = append(row, gs.accs[base+i].result(spec))
+			row = append(row, sl.accs[base+i].result(spec))
 		}
 		g.rowBuf = row
 		found := -1
@@ -478,9 +478,9 @@ func (g *aggExec) groupOutput(gs *groupState) []delta.Tuple {
 	return out
 }
 
-func groupDead(gs *groupState) bool {
-	for _, n := range gs.n {
-		if n > 0 {
+func groupDead(n []int64) bool {
+	for _, c := range n {
+		if c > 0 {
 			return false
 		}
 	}
@@ -515,5 +515,5 @@ func (g *aggExec) sameTuples(a, b []delta.Tuple) bool {
 	return true
 }
 
-// stateSize returns the number of live groups.
-func (g *aggExec) stateSize() int64 { return int64(g.arena.Len()) }
+// stateSize returns the number of groups this executor holds state for.
+func (g *aggExec) stateSize() int64 { return g.liveGroups }

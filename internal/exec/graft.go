@@ -42,6 +42,13 @@ type GraftStats struct {
 	// Replayed counts window replays performed (rebuilt subplans × sealed
 	// windows).
 	Replayed int
+	// ArrangementsShared counts arrangement attaches during the graft that
+	// were served by an existing arrangement instead of building state anew
+	// — the warm-reuse the registry buys a rebuilt sharer.
+	ArrangementsShared int
+	// ArrangementsFreed counts arrangements whose last handle released in
+	// the graft; they stay tombstoned until the next window seals.
+	ArrangementsFreed int
 }
 
 // DebugGraftLooseMatch, when true, lets Graft adopt old executors whose
@@ -86,6 +93,7 @@ func (r *Runner) Graft(newG *mqo.Graph, opts GraftOptions) (*GraftStats, error) 
 	// history below is complete.
 	r.arriveUpTo(1, 1)
 	r.sealWindow()
+	regBefore := r.reg.Stats()
 
 	match := mqo.MatchSubplans(r.Graph, newG)
 	var looseBySig map[string][]int
@@ -145,7 +153,7 @@ func (r *Runner) Graft(newG *mqo.Graph, opts GraftOptions) (*GraftStats, error) 
 				continue
 			}
 		}
-		se, err := NewSubplanExec(newG, s, res, r.batch)
+		se, err := NewSubplanExec(newG, s, res, r.batch, r.reg)
 		if err != nil {
 			return nil, fmt.Errorf("exec: graft: %w", err)
 		}
@@ -182,6 +190,21 @@ func (r *Runner) Graft(newG *mqo.Graph, opts GraftOptions) (*GraftStats, error) 
 	for name := range newTables {
 		r.windowBase[name] = r.appended[name]
 	}
+
+	// Dropped executors release their arrangement handles only now, after
+	// the fresh executors attached and replayed: a rebuilt subplan indexing
+	// the same state re-keyed onto the still-live arrangement (a warm
+	// attach — its replay deduplicated against the built state instead of
+	// rebuilding it). Arrangements freed here tombstone until the next
+	// window seals.
+	for id, se := range r.Execs {
+		if !adoptedOld[id] {
+			se.release(r.reg)
+		}
+	}
+	regAfter := r.reg.Stats()
+	stats.ArrangementsShared = int(regAfter.SharedAttaches - regBefore.SharedAttaches)
+	stats.ArrangementsFreed = int(regAfter.Freed - regBefore.Freed)
 
 	r.Execs = newExecs
 	r.Graph = newG

@@ -3,7 +3,6 @@ package exec
 import (
 	"ishare/internal/delta"
 	"ishare/internal/expr"
-	"ishare/internal/hashtab"
 	"ishare/internal/mqo"
 	"ishare/internal/value"
 	"ishare/internal/vec"
@@ -20,17 +19,28 @@ import (
 // bits restricted to the operator's query set. An empty key list is a cross
 // join: every tuple lands in one bucket.
 //
+// Build sides live in the arrangement registry: an attached executor may be
+// probing state that other joins built (and are still building). Each side
+// therefore addresses its arrangement through a handle — a stream position
+// plus a canonical bitset remap — and every read goes through the entry's
+// multiplicity history at that position, so what a probe sees is exactly
+// the side's own applied prefix regardless of who else shares the bytes.
+//
 // Execution is chunked: each phase evaluates a chunk's key expressions
-// column-at-a-time, hashes the whole key column set in one pass, and resolves
-// every probe against the other side's table in one batch — legal because the
-// probed side's state is immutable within a phase. State updates, chain walks
-// and emissions then run in input order, so the delta algebra (and the
-// modeled work) is identical to tuple-at-a-time execution.
+// column-at-a-time, hashes the whole key column set in one pass, and
+// resolves every probe against the other side's table in one batch. State
+// updates, chain walks and emissions then run in input order under the
+// arrangement locks, so the delta algebra (and the modeled work) is
+// identical to tuple-at-a-time execution.
 type joinExec struct {
 	op          *mqo.Op
 	batch       int
 	markers     []marker
 	left, right *joinSide
+	// reg is the registry the sides are attached to (nil for the private
+	// arrangements tests build directly); released guards double-release.
+	reg      *Registry
+	released bool
 	// Pending emissions for the current chunk: markers run over the whole
 	// candidate set at once, then survivors are appended (with multiplicity)
 	// in probe order.
@@ -56,21 +66,51 @@ func newJoinExec(op *mqo.Op, batch int) *joinExec {
 	}
 }
 
-// joinSide is one side's state: an open-addressing table from precomputed
-// key hashes to chains of arena-allocated entries. The key is hashed once
-// per delta; probes walk the chain re-deriving each entry's key from its
-// stored row (keyAt), so hash-equal buckets behave exactly like the bucket
-// slices they replaced without entries materializing their keys.
+// attach re-keys both sides through the registry. A side whose arrangement
+// key matches one already built probes it in place of building its own; an
+// unshareable (or sharing-disabled) side gets a private registered
+// arrangement, so refcount accounting is uniform either way.
+func (j *joinExec) attach(reg *Registry) {
+	j.reg = reg
+	lk := mqo.JoinSideArrangeKey(j.op, 0)
+	rk := mqo.JoinSideArrangeKey(j.op, 1)
+	j.left.arr = reg.attachJoin(lk)
+	j.left.toCanon, j.left.fromCanon = newBitMaps(lk.Order)
+	j.right.arr = reg.attachJoin(rk)
+	j.right.toCanon, j.right.fromCanon = newBitMaps(rk.Order)
+}
+
+func (j *joinExec) release(reg *Registry) {
+	if j.reg == nil || j.released {
+		return
+	}
+	j.released = true
+	reg.release(j.left.arr)
+	reg.release(j.right.arr)
+}
+
+func (j *joinExec) handles() int {
+	if j.reg == nil || j.released {
+		return 0
+	}
+	return 2
+}
+
+// joinSide is one side's handle onto its build arrangement plus the
+// per-exec probe machinery: compiled key expressions, the hasher, and
+// chunk scratch. pos is the number of restricted-stream survivors this
+// side has applied; toCanon/fromCanon remap bitsets between the exec's
+// global query ids and the arrangement's canonical slots (nil = identity).
 type joinSide struct {
-	keys []expr.Expr
-	kevs []*vec.Eval
+	arr                *joinArr
+	pos                int64
+	toCanon, fromCanon bitMap
+	keys               []expr.Expr
+	kevs               []*vec.Eval
 	// keyIdx[c] is the column index when key c is a bare column reference —
 	// the common case, letting keyAt read the stored row directly — or -1
 	// for a computed key, re-evaluated per probe comparison.
 	keyIdx []int
-	tab    hashtab.Table
-	arena  hashtab.Arena[joinEntry]
-	size   int64
 	// keyBuf is the scratch row holding the current probe tuple's key.
 	keyBuf value.Row
 	hasher *value.Hasher
@@ -84,6 +124,7 @@ type joinSide struct {
 
 func newJoinSide(keys []expr.Expr) *joinSide {
 	s := &joinSide{
+		arr:     &joinArr{},
 		keys:    keys,
 		kevs:    vec.CompileAll(keys),
 		keyIdx:  make([]int, len(keys)),
@@ -100,19 +141,10 @@ func newJoinSide(keys []expr.Expr) *joinSide {
 	return s
 }
 
-// joinEntry is one distinct (row, bits) with a net multiplicity. Entries
-// with equal key hashes form a chain in arrival order (next, -1 ends it).
-// The entry's join key is not stored: it is a pure function of row (keyAt),
-// and the chain already groups entries by full 64-bit key hash.
-type joinEntry struct {
-	row   value.Row
-	bits  mqo.Bitset
-	count int32
-	next  int32
-}
-
-// keyAt returns key column c of the entry's row.
-func (s *joinSide) keyAt(e *joinEntry, c int) value.Value {
+// keyAt returns key column c of the entry's row. Entries written by other
+// sharers evaluate identically: signature-equal sides have canon-equal key
+// expressions over the same row schema.
+func (s *joinSide) keyAt(e *arrEntry, c int) value.Value {
 	if idx := s.keyIdx[c]; idx >= 0 {
 		return e.row[idx]
 	}
@@ -122,84 +154,13 @@ func (s *joinSide) keyAt(e *joinEntry, c int) value.Value {
 // keyMatches reports whether the entry's key equals key. Chains hold one
 // 64-bit hash, so mismatches are collision-rare; comparison order matches
 // the materialized-key Row.Equal it replaced.
-func (s *joinSide) keyMatches(e *joinEntry, key value.Row) bool {
+func (s *joinSide) keyMatches(e *arrEntry, key value.Row) bool {
 	for c := range key {
 		if !value.Equal(s.keyAt(e, c), key[c]) {
 			return false
 		}
 	}
 	return true
-}
-
-// update applies a delta to the side's multiset and returns the state work.
-func (s *joinSide) update(t delta.Tuple, h uint64) int64 {
-	if head, ok := s.tab.Get(h); ok {
-		prev := int32(-1)
-		for ref := head; ref >= 0; {
-			e := s.arena.At(ref)
-			if e.bits == t.Bits && e.row.Equal(t.Row) {
-				e.count += int32(t.Sign)
-				if e.count == 0 {
-					s.removeEntry(h, prev, ref)
-				}
-				return 1
-			}
-			prev = ref
-			ref = e.next
-		}
-		// No match in the chain: append at the tail (prev), preserving
-		// arrival order for probes.
-		s.arena.At(prev).next = s.newEntry(t)
-		return 1
-	}
-	s.tab.Put(h, s.newEntry(t))
-	return 1
-}
-
-// newEntry arena-allocates an entry for the delta.
-func (s *joinSide) newEntry(t delta.Tuple) int32 {
-	count := int32(1)
-	if t.Sign == delta.Delete {
-		// Deleting a tuple that was never inserted: record a negative
-		// entry so a late matching insert cancels it. This keeps the
-		// multiset algebra closed under any delta order.
-		count = -1
-	}
-	ref := s.arena.Alloc()
-	e := s.arena.At(ref)
-	e.row, e.bits, e.count, e.next = t.Row, t.Bits, count, -1
-	s.size++
-	return ref
-}
-
-// removeEntry drops the chain node ref (whose predecessor is prev, -1 for
-// the head). To keep probe order identical to the bucket slices this chain
-// replaced — which removed by swapping the last element into the hole — the
-// tail entry's payload is moved into ref's position and the tail node is
-// freed.
-func (s *joinSide) removeEntry(h uint64, prev, ref int32) {
-	e := s.arena.At(ref)
-	if e.next < 0 {
-		// ref is the tail: unlink it; an emptied chain leaves the table.
-		if prev >= 0 {
-			s.arena.At(prev).next = -1
-		} else {
-			s.tab.Delete(h)
-		}
-		s.arena.Free(ref)
-	} else {
-		tailPrev := ref
-		tail := e.next
-		for s.arena.At(tail).next >= 0 {
-			tailPrev = tail
-			tail = s.arena.At(tail).next
-		}
-		te := s.arena.At(tail)
-		e.row, e.bits, e.count = te.row, te.bits, te.count
-		s.arena.At(tailPrev).next = -1
-		s.arena.Free(tail)
-	}
-	s.size--
 }
 
 func (j *joinExec) process(in [][]delta.Tuple) ([]delta.Tuple, Work) {
@@ -251,7 +212,12 @@ func (j *joinExec) runPhase(self, other *joinSide, tuples []delta.Tuple, selfIsL
 		hashes := self.hashes[:len(tup)]
 		refs := self.refs[:len(tup)]
 		self.hasher.HashCols(cols, ch.Sel, hashes)
-		other.tab.GetBatch(hashes, ch.Sel, refs)
+		// Updates and probes for the chunk run under both arrangements'
+		// locks: other executors may share either side. Candidate rows are
+		// copied into the exec's own arena inside the critical section, so
+		// marker evaluation and emission (flushCand) run outside it.
+		lockArrs(self.arr, other.arr)
+		other.arr.tab.GetBatch(hashes, ch.Sel, refs)
 		for _, i := range ch.Sel {
 			key := self.keyBuf[:0]
 			for _, col := range cols {
@@ -259,20 +225,24 @@ func (j *joinExec) runPhase(self, other *joinSide, tuples []delta.Tuple, selfIsL
 			}
 			self.keyBuf = key
 			t := delta.Tuple{Row: tup[i].Row, Bits: ch.Bits[i], Sign: tup[i].Sign}
-			w.State += self.update(t, hashes[i])
+			w.State += self.arr.apply(&self.pos, self.toCanon, t, hashes[i])
+			probeBits := other.toCanon.apply(t.Bits)
 			for ref := refs[i]; ref >= 0; {
-				e := other.arena.At(ref)
+				e := other.arr.arena.At(ref)
 				ref = e.next
 				if !other.keyMatches(e, key) {
 					continue
 				}
+				count := e.countAt(other.pos)
+				bits := other.fromCanon.apply(e.bits.Intersect(probeBits))
 				if selfIsLeft {
-					j.addCand(t.Row, e.row, t.Bits.Intersect(e.bits), t.Sign, int(e.count))
+					j.addCand(t.Row, e.row, bits, t.Sign, int(count))
 				} else {
-					j.addCand(e.row, t.Row, t.Bits.Intersect(e.bits), t.Sign, int(e.count))
+					j.addCand(e.row, t.Row, bits, t.Sign, int(count))
 				}
 			}
 		}
+		unlockArrs(self.arr, other.arr)
 		out = j.flushCand(out, w)
 	}
 	return out
@@ -323,5 +293,7 @@ func (j *joinExec) flushCand(out []delta.Tuple, w *Work) []delta.Tuple {
 	return out
 }
 
-// stateSize returns the number of distinct entries held on both sides.
-func (j *joinExec) stateSize() int64 { return j.left.size + j.right.size }
+// stateSize returns the number of live entries held on both sides; a
+// self-join sharing one arrangement counts it once per side, matching the
+// two per-side tables it replaces.
+func (j *joinExec) stateSize() int64 { return j.left.arr.live + j.right.arr.live }

@@ -88,18 +88,40 @@ func applyMarkersChunk(markers []marker, ch *vec.Chunk) {
 	}
 }
 
+// arranged is implemented by operators whose indexed state lives in the
+// arrangement registry: attach re-keys the state through the registry
+// (possibly onto an arrangement another operator built), release drops the
+// handles when a graft retires the operator, and handles reports how many
+// the operator currently holds — the executor side of the registry's
+// refcount invariant.
+type arranged interface {
+	attach(reg *Registry)
+	release(reg *Registry)
+	handles() int
+}
+
 // newOperator instantiates the physical operator for a shared-plan node.
-// batch is the chunk size used for delta iteration.
-func newOperator(op *mqo.Op, batch int) operator {
+// batch is the chunk size used for delta iteration; stateful operators
+// attach their arrangements to reg (nil keeps state private — tests that
+// drive operators directly).
+func newOperator(op *mqo.Op, batch int, reg *Registry) operator {
 	switch op.Kind {
 	case mqo.KindScan:
 		return &scanExec{op: op, batch: batch, markers: compileMarkers(op)}
 	case mqo.KindProject:
 		return newProjectExec(op, batch)
 	case mqo.KindJoin:
-		return newJoinExec(op, batch)
+		j := newJoinExec(op, batch)
+		if reg != nil {
+			j.attach(reg)
+		}
+		return j
 	case mqo.KindAggregate:
-		return newAggExec(op, batch)
+		a := newAggExec(op, batch)
+		if reg != nil {
+			a.attach(reg)
+		}
+		return a
 	default:
 		panic("exec: unknown operator kind")
 	}

@@ -59,6 +59,10 @@ type Runner struct {
 	winData []map[string]int
 	// winOpen reports whether deltas have arrived since the last seal.
 	winOpen bool
+
+	// reg is the arrangement registry every stateful operator of this
+	// runner attaches its indexed state to (see arrange.go).
+	reg *Registry
 }
 
 // NewRunner builds fresh operator state, buffers and table logs for an
@@ -94,7 +98,20 @@ func NewDeltaRunner(g *mqo.Graph, data DeltaDataset) (*Runner, error) {
 // chunks of batch tuples (any value < 1 means one chunk per input). Results
 // and modeled work are identical at every batch size; the knob exists for
 // performance tuning and for the invariance tests that prove that claim.
+// Arrangement sharing comes from the environment (ShareFromEnv).
 func NewDeltaRunnerBatch(g *mqo.Graph, data DeltaDataset, batch int) (*Runner, error) {
+	return newDeltaRunner(g, data, batch, ShareFromEnv())
+}
+
+// NewDeltaRunnerShare builds a runner with arrangement sharing explicitly
+// enabled or disabled, overriding the ISHARE_SHARE_ARRANGEMENTS default —
+// the oracle's sharing-invariance pass constructs both variants and
+// requires byte-identical results and work reports.
+func NewDeltaRunnerShare(g *mqo.Graph, data DeltaDataset, share bool) (*Runner, error) {
+	return newDeltaRunner(g, data, vec.BatchFromEnv(), share)
+}
+
+func newDeltaRunner(g *mqo.Graph, data DeltaDataset, batch int, share bool) (*Runner, error) {
 	r := &Runner{
 		Graph:      g,
 		Data:       data,
@@ -102,6 +119,7 @@ func NewDeltaRunnerBatch(g *mqo.Graph, data DeltaDataset, batch int) (*Runner, e
 		appended:   make(map[string]int),
 		windowBase: make(map[string]int),
 		batch:      batch,
+		reg:        NewRegistry(share),
 	}
 	// A non-empty construction dataset is the first (implicit) window: if
 	// the plan is later grafted, that history must be replayable.
@@ -122,7 +140,7 @@ func NewDeltaRunnerBatch(g *mqo.Graph, data DeltaDataset, batch int) (*Runner, e
 	}
 	r.Execs = make([]*SubplanExec, len(g.Subplans))
 	for _, s := range g.Subplans { // children-first, so child execs exist
-		se, err := NewSubplanExec(g, s, r, batch)
+		se, err := NewSubplanExec(g, s, r, batch, r.reg)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +238,27 @@ func (r *Runner) Run(paces []int) (*Report, error) {
 			trace.Arg{Key: "work", Value: w.Total()})
 		r.CountWork(w)
 	}
+	r.CountArrangements()
 	return r.report(paces, time.Since(start)), nil
+}
+
+// CountArrangements publishes the registry's sharing/memory accounting to
+// the tracer's counters. The values are end-state gauges, not deltas, so
+// callers emit them exactly once per run — Run does it after the last
+// firing, and the scheduler runtime after its final window closes. No-op
+// without a tracer.
+func (r *Runner) CountArrangements() {
+	tr := r.Trace
+	if tr == nil {
+		return
+	}
+	st := r.reg.Stats()
+	tr.Count("exec.arr.live", int64(st.Live))
+	tr.Count("exec.arr.handles", int64(st.Handles))
+	tr.Count("exec.arr.multiuse", int64(st.MultiUse))
+	tr.Count("exec.arr.entries", st.Entries)
+	tr.Count("exec.arr.built", st.Built)
+	tr.Count("exec.arr.shared_attaches", st.SharedAttaches)
 }
 
 // report builds the cumulative modeled-work report.
@@ -303,6 +341,10 @@ func (r *Runner) sealWindow() {
 	for _, se := range r.Execs {
 		se.winOut = append(se.winOut, se.Out.Len())
 	}
+	// Arrangements whose last holder released during the window are only
+	// reclaimed now that it is sealed — tombstone-style deferred expiry, so
+	// in-flight executions never see their state disappear.
+	r.reg.Sweep()
 }
 
 // ArriveWindow appends each table's deltas up to fraction j/p of the current
@@ -351,6 +393,31 @@ func (r *Runner) CountWork(w Work) {
 		tr.Count("exec.rescans", 1)
 		tr.Count("exec.rescan_work", w.Rescan)
 	}
+}
+
+// SetShareArrangements flips arrangement sharing for operators attached
+// from now on (the next Graft's fresh executors); state already shared
+// stays shared until its holders release. Toggling mid-churn must be
+// observationally invisible — the oracle flips it at random window
+// boundaries and requires byte-identical results and reports.
+func (r *Runner) SetShareArrangements(v bool) { r.reg.SetShare(v) }
+
+// ArrangeStats returns the arrangement registry's current accounting. Not
+// safe to call concurrently with running executions.
+func (r *Runner) ArrangeStats() ArrangeStats { return r.reg.Stats() }
+
+// CheckArrangements verifies the registry refcount invariant against the
+// live executors: every arrangement handle an operator holds is counted by
+// exactly one registry ref and vice versa, and tombstone accounting
+// balances. The churn oracle calls it after every graft; a leak (or a
+// double release) surfaces as a mismatch here long before memory numbers
+// would show it.
+func (r *Runner) CheckArrangements() error {
+	handles := 0
+	for _, se := range r.Execs {
+		handles += se.arrangeHandles()
+	}
+	return r.reg.checkHandles(handles)
 }
 
 // Results returns query q's current materialized result rows; nil for an

@@ -47,7 +47,9 @@ type inputResolver interface {
 // NewSubplanExec wires a subplan's operators and input readers. batch is the
 // chunk size the member operators iterate deltas with; it is captured per
 // operator at construction so concurrent runners never share batch state.
-func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver, batch int) (*SubplanExec, error) {
+// Stateful member operators attach their indexed state to reg, the runner's
+// arrangement registry (nil keeps all state private).
+func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver, batch int, reg *Registry) (*SubplanExec, error) {
 	se := &SubplanExec{
 		Sub:    sub,
 		Out:    buffer.NewLog(fmt.Sprintf("subplan%d", sub.ID)),
@@ -60,7 +62,7 @@ func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver, batch int
 		se.member[o] = true
 	}
 	for _, o := range sub.Ops {
-		se.ops[o] = newOperator(o, batch)
+		se.ops[o] = newOperator(o, batch, reg)
 		if o.Kind == mqo.KindScan {
 			log, err := res.TableLog(o.Table.Name)
 			if err != nil {
@@ -162,3 +164,24 @@ func (se *SubplanExec) FinalWork() Work {
 
 // ExecWork returns the work of execution i.
 func (se *SubplanExec) ExecWork(i int) Work { return se.perExec[i] }
+
+// release drops the member operators' arrangement handles; a graft calls
+// it on every subplan executor the new plan revision no longer carries.
+func (se *SubplanExec) release(reg *Registry) {
+	for _, o := range se.ops {
+		if a, ok := o.(arranged); ok {
+			a.release(reg)
+		}
+	}
+}
+
+// arrangeHandles counts the arrangement handles the member operators hold.
+func (se *SubplanExec) arrangeHandles() int {
+	n := 0
+	for _, o := range se.ops {
+		if a, ok := o.(arranged); ok {
+			n += a.handles()
+		}
+	}
+	return n
+}

@@ -19,10 +19,16 @@ import (
 // follow opt.Live's policy — lowest inactive slot first, never renumbered —
 // so the differential harness exercises the same layouts the production
 // admission path produces.
+// ToggleShare lists window boundaries (in [1, Windows)) at which arrangement
+// sharing is flipped on the live runner before that window's graft and
+// ingest. Sharing is purely physical, so toggling it mid-churn must change
+// nothing observable; each toggle boundary also re-checks the registry
+// refcount invariant.
 type ChurnPlan struct {
-	Windows int
-	Admit   []int
-	Retire  []int
+	Windows     int
+	Admit       []int
+	Retire      []int
+	ToggleShare []int
 }
 
 // activeIn reports whether query q is being served during window k.
@@ -43,6 +49,11 @@ func (cp *ChurnPlan) validate(nq int) error {
 		}
 		if cp.Retire[q] != -1 && (cp.Retire[q] <= cp.Admit[q] || cp.Retire[q] >= cp.Windows) {
 			return fmt.Errorf("churn: query %d admitted at %d retired at %d", q, cp.Admit[q], cp.Retire[q])
+		}
+	}
+	for _, k := range cp.ToggleShare {
+		if k < 1 || k >= cp.Windows {
+			return fmt.Errorf("churn: sharing toggle at window %d of %d", k, cp.Windows)
 		}
 	}
 	for k := 0; k < cp.Windows; k++ {
@@ -179,7 +190,35 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 		if err != nil {
 			return nil, fmt.Errorf("oracle: churn/%s: runner: %w", mode, err)
 		}
+		// leak reports a registry refcount violation: every arrangement
+		// handle a live executor holds must be counted by exactly one
+		// registry ref, with zero arrangements retained past their sharers.
+		leak := func(k int, when string) *Mismatch {
+			if err := runner.CheckArrangements(); err != nil {
+				return &Mismatch{
+					Config: fmt.Sprintf("churn/%s/window=%d/%s/toggle=%v", mode, k, when, cp.ToggleShare),
+					Query:  -1,
+					SQL:    "arrangement refcount invariant",
+					Got:    []string{err.Error()},
+					Want:   []string{"registry refs match executor handles"},
+				}
+			}
+			return nil
+		}
+		share := exec.ShareFromEnv()
+		toggles := make(map[int]int, len(cp.ToggleShare))
+		for _, tk := range cp.ToggleShare {
+			toggles[tk]++
+		}
 		for k := 0; k < W; k++ {
+			// Sharing toggles apply at the boundary, before the graft, so a
+			// revision's fresh executors attach under the flipped mode.
+			if n := toggles[k]; n > 0 {
+				if n%2 == 1 {
+					share = !share
+				}
+				runner.SetShareArrangements(share)
+			}
 			if k > 0 && events[k] {
 				ng, err := build(layouts[k])
 				if err != nil {
@@ -189,8 +228,14 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 					return nil, fmt.Errorf("oracle: churn/%s: graft at window %d: %w", mode, k, err)
 				}
 				g = ng
+				if m := leak(k, "graft"); m != nil {
+					return m, nil
+				}
 			}
 			runWindow(runner, g, k)
+			if m := leak(k, "window"); m != nil {
+				return m, nil
+			}
 			tables := prefixTables(k)
 			for q := range queries {
 				if !cp.activeIn(q, k) {
@@ -200,7 +245,7 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 				wantQ := Canon(Eval(queries[q].Root, tables, nil))
 				if !eqStrings(got, wantQ) {
 					return &Mismatch{
-						Config: fmt.Sprintf("churn/%s/window=%d/admit=%v/retire=%v", mode, k, cp.Admit, cp.Retire),
+						Config: fmt.Sprintf("churn/%s/window=%d/admit=%v/retire=%v/toggle=%v", mode, k, cp.Admit, cp.Retire, cp.ToggleShare),
 						Query:  q, SQL: w.SQL[q], Got: got, Want: wantQ,
 					}, nil
 				}
@@ -208,7 +253,7 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 		}
 		if diff := reportDiff(refReport, runner.ReportNow()); diff != "" {
 			return &Mismatch{
-				Config: fmt.Sprintf("churn/%s/admit=%v/retire=%v", mode, cp.Admit, cp.Retire),
+				Config: fmt.Sprintf("churn/%s/admit=%v/retire=%v/toggle=%v", mode, cp.Admit, cp.Retire, cp.ToggleShare),
 				Query:  -1,
 				SQL:    "modeled work must match a from-scratch run of the final plan",
 				Got:    []string{diff},

@@ -188,6 +188,14 @@ func genChurn(r *rand.Rand, nq int) *ChurnPlan {
 			cp.Retire[q] = cp.Admit[q] + 1 + r.Intn(room)
 		}
 	}
+	// Arrangement-sharing toggles, drawn last so the admit/retire schedule
+	// of a given seed is stable with and without them.
+	if r.Float64() < 0.5 {
+		n := 1 + r.Intn(2)
+		for i := 0; i < n; i++ {
+			cp.ToggleShare = append(cp.ToggleShare, 1+r.Intn(cp.Windows-1))
+		}
+	}
 	return cp
 }
 

@@ -35,6 +35,14 @@ type CheckOptions struct {
 	// must be byte-identical to a from-scratch run of the final plan. A
 	// no-op when the workload has no churn plan.
 	Churn bool
+	// Arrangements adds a sharing-invariance pass: the shared plan and (with
+	// Decompose) the fully unshared decomposition — where the arrangement
+	// registry is the only sharing left — re-run with arrangement sharing
+	// explicitly on and off, and every run must produce identical query
+	// results and an identical modeled-work report. Sharing indexed state is
+	// a physical optimization that may never leak into results or the cost
+	// model; the refcount invariant is checked on every runner.
+	Arrangements bool
 	// BatchSizes, when non-empty, adds a metamorphic batch-invariance pass:
 	// the shared plan re-runs under one pace vector with each vectorized
 	// chunk size, and every run must produce both identical query results
@@ -47,17 +55,19 @@ type CheckOptions struct {
 }
 
 // DefaultCheckOptions matches the acceptance bar: ≥3 random pace vectors, a
-// decomposed variant, Workers 1 and 4, a scheduler-runtime pass, and
-// batch-size invariance at chunk sizes 1, 7 and 1024.
+// decomposed variant, Workers 1 and 4, a scheduler-runtime pass,
+// arrangement-sharing invariance, and batch-size invariance at chunk sizes
+// 1, 7 and 1024.
 func DefaultCheckOptions() CheckOptions {
 	return CheckOptions{
-		PaceVectors: 3,
-		MaxPace:     6,
-		Workers:     []int{1, 4},
-		Decompose:   true,
-		Scheduler:   true,
-		Churn:       true,
-		BatchSizes:  []int{1, 7, 1024},
+		PaceVectors:  3,
+		MaxPace:      6,
+		Workers:      []int{1, 4},
+		Decompose:    true,
+		Scheduler:    true,
+		Churn:        true,
+		Arrangements: true,
+		BatchSizes:   []int{1, 7, 1024},
 	}
 }
 
@@ -197,6 +207,72 @@ func Check(w *Workload, opts CheckOptions) (*Mismatch, error) {
 					Got:    []string{fmt.Sprintf("%s: %s", config, diff)},
 					Want:   []string{fmt.Sprintf("report identical to %s", refConfig)},
 				}, nil
+			}
+		}
+	}
+	// Sharing-invariance: arrangement sharing on vs. off must change
+	// neither results nor any modeled-work number, on the shared plan and
+	// on the fully unshared decomposition (where per-query subplan chains
+	// make the registry the only sharing in play). Both runs use one pace
+	// vector so their reports are directly comparable, and every runner
+	// must satisfy the registry refcount invariant afterwards.
+	if opts.Arrangements {
+		variants := []struct {
+			name string
+			g    *mqo.Graph
+		}{{"shared", shared}}
+		if opts.Decompose {
+			ug, err := buildGraph(mqo.BuildOptions{Classes: func(sig string, q int) int { return q }}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: unshared build: %w", err)
+			}
+			variants = append(variants, struct {
+				name string
+				g    *mqo.Graph
+			}{"unshared", ug})
+		}
+		for _, v := range variants {
+			paces := randPaces(v.g)
+			var ref *exec.Report
+			var refConfig string
+			for _, share := range []bool{true, false} {
+				config := fmt.Sprintf("%s/arrangements=%v/paces=%v", v.name, share, paces)
+				runner, err := exec.NewDeltaRunnerShare(v.g, data, share)
+				if err != nil {
+					return nil, fmt.Errorf("oracle: %s: %w", config, err)
+				}
+				rep, err := runner.Run(paces)
+				if err != nil {
+					return nil, fmt.Errorf("oracle: %s: %w", config, err)
+				}
+				for q := range queries {
+					got := Canon(runner.Results(q))
+					if !eqStrings(got, want[q]) {
+						return &Mismatch{Config: config, Query: q, SQL: w.SQL[q], Got: got, Want: want[q]}, nil
+					}
+				}
+				if err := runner.CheckArrangements(); err != nil {
+					return &Mismatch{
+						Config: config,
+						Query:  -1,
+						SQL:    "arrangement refcount invariant",
+						Got:    []string{err.Error()},
+						Want:   []string{"registry refs match executor handles"},
+					}, nil
+				}
+				if ref == nil {
+					ref, refConfig = rep, config
+					continue
+				}
+				if diff := reportDiff(ref, rep); diff != "" {
+					return &Mismatch{
+						Config: config,
+						Query:  -1,
+						SQL:    "modeled work must be sharing-invariant",
+						Got:    []string{fmt.Sprintf("%s: %s", config, diff)},
+						Want:   []string{fmt.Sprintf("report identical to %s", refConfig)},
+					}, nil
+				}
 			}
 		}
 	}

@@ -192,4 +192,72 @@ var shrunkSeeds = []shrunkSeed{
 			Churn: &oracle.ChurnPlan{Windows: 2, Admit: []int{0, 0, 1}, Retire: []int{-1, 1, -1}},
 		},
 	},
+	{
+		// Share, toggle, then retire mid-window: q1 and q2 are twin joins
+		// whose build sides share one arrangement pair. Sharing flips at the
+		// boundary before window 1 (new attaches go private while the shared
+		// state keeps its holders), then q2 retires at the boundary before
+		// window 2 — dropping a handle on an arrangement built under the
+		// other sharing mode, with deletions still arriving for the
+		// surviving twin to apply against the multi-version index.
+		name: "churn-share-toggle-retire",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindInt}}},
+				{Name: "t1", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c2", Type: value.KindInt}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Int(10)),
+					oracle.Ins(value.Int(2), value.Int(20)),
+					oracle.Del(value.Int(1), value.Int(10)),
+					oracle.Ins(value.Int(1), value.Int(30)),
+					oracle.Ins(value.Int(3), value.Int(40)),
+					oracle.Del(value.Int(2), value.Int(20)),
+				},
+				"t1": {
+					oracle.Ins(value.Int(1), value.Int(-1)),
+					oracle.Ins(value.Int(2), value.Int(-2)),
+					oracle.Del(value.Int(1), value.Int(-1)),
+					oracle.Ins(value.Int(3), value.Int(-3)),
+				},
+			},
+			SQL: []string{
+				"SELECT t0.c0, COUNT(*) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c1, t1.c2 FROM t0, t1 WHERE t0.c0 = t1.c0",
+				"SELECT t0.c1, t1.c2 FROM t0, t1 WHERE t0.c0 = t1.c0",
+			},
+			Churn: &oracle.ChurnPlan{Windows: 3, Admit: []int{0, 0, 0}, Retire: []int{-1, -1, 2}, ToggleShare: []int{1}},
+		},
+	},
+	{
+		// Same-boundary handover under a double sharing toggle: q1 retires
+		// and its twin q2 admits at the boundary before window 1, right
+		// after sharing flips — the admitted twin's fresh executors must
+		// warm-attach (or build private, depending on the flipped mode) and
+		// still replay window 0's history exactly; sharing flips back before
+		// window 2 while both aggregate group indexes keep serving.
+		name: "churn-toggle-handover",
+		w: &oracle.Workload{
+			Tables: []oracle.TableDef{
+				{Name: "t0", Cols: []catalog.Column{{Name: "c0", Type: value.KindInt}, {Name: "c1", Type: value.KindFloat}}},
+			},
+			Streams: map[string][]delta.Tuple{
+				"t0": {
+					oracle.Ins(value.Int(1), value.Float(0.5)),
+					oracle.Ins(value.Int(2), value.Float(1.5)),
+					oracle.Del(value.Int(1), value.Float(0.5)),
+					oracle.Ins(value.Int(1), value.Float(2.5)),
+					oracle.Ins(value.Int(2), value.Float(3.5)),
+					oracle.Del(value.Int(2), value.Float(1.5)),
+				},
+			},
+			SQL: []string{
+				"SELECT t0.c0, COUNT(*) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c0, SUM(t0.c1) FROM t0 GROUP BY t0.c0",
+				"SELECT t0.c0, SUM(t0.c1) FROM t0 GROUP BY t0.c0",
+			},
+			Churn: &oracle.ChurnPlan{Windows: 3, Admit: []int{0, 0, 1}, Retire: []int{-1, 1, -1}, ToggleShare: []int{1, 2}},
+		},
+	},
 }

@@ -59,9 +59,10 @@ func cloneWorkload(w *Workload) *Workload {
 	c.SQL = append([]string(nil), w.SQL...)
 	if w.Churn != nil {
 		c.Churn = &ChurnPlan{
-			Windows: w.Churn.Windows,
-			Admit:   append([]int(nil), w.Churn.Admit...),
-			Retire:  append([]int(nil), w.Churn.Retire...),
+			Windows:     w.Churn.Windows,
+			Admit:       append([]int(nil), w.Churn.Admit...),
+			Retire:      append([]int(nil), w.Churn.Retire...),
+			ToggleShare: append([]int(nil), w.Churn.ToggleShare...),
 		}
 	}
 	return c
@@ -70,7 +71,9 @@ func cloneWorkload(w *Workload) *Workload {
 // shrinkChurn simplifies the churn schedule: first by removing it entirely
 // (the strongest simplification — the bug reproduces in a plain run), then
 // event by event, moving each admission to window 0 and cancelling each
-// retirement.
+// retirement. Sharing toggles are dropped last: a repro that needs a toggle
+// should keep it until everything else has shrunk around it, so
+// sharing-dependent failures stay visibly sharing-dependent.
 func shrinkChurn(w *Workload, failing func(*Workload) bool) bool {
 	if w.Churn == nil {
 		return false
@@ -98,6 +101,24 @@ func shrinkChurn(w *Workload, failing func(*Workload) bool) bool {
 				*w = *cand
 				changed = true
 			}
+		}
+	}
+	if len(w.Churn.ToggleShare) > 0 {
+		cand := cloneWorkload(w)
+		cand.Churn.ToggleShare = nil
+		if failing(cand) {
+			*w = *cand
+			changed = true
+		}
+	}
+	for i := 0; i < len(w.Churn.ToggleShare); {
+		cand := cloneWorkload(w)
+		cand.Churn.ToggleShare = append(cand.Churn.ToggleShare[:i], cand.Churn.ToggleShare[i+1:]...)
+		if failing(cand) {
+			*w = *cand
+			changed = true
+		} else {
+			i++
 		}
 	}
 	return changed
@@ -281,8 +302,13 @@ func ReproGo(w *Workload) string {
 	}
 	b.WriteString("\t},\n")
 	if w.Churn != nil {
-		fmt.Fprintf(&b, "\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s},\n",
-			w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire))
+		if len(w.Churn.ToggleShare) > 0 {
+			fmt.Fprintf(&b, "\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s, ToggleShare: %s},\n",
+				w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire), goInts(w.Churn.ToggleShare))
+		} else {
+			fmt.Fprintf(&b, "\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s},\n",
+				w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire))
+		}
 	}
 	b.WriteString("}\n")
 	b.WriteString("m, err := oracle.Check(w, oracle.DefaultCheckOptions())\n")

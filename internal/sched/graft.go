@@ -43,6 +43,7 @@ func (s *Scheduler) Graft(g *mqo.Graph, paces []int, deadlines []time.Duration) 
 	if err != nil {
 		return nil, err
 	}
+	s.flushArrangeStats()
 	s.graph = g
 	s.paces = append([]int(nil), paces...)
 	s.cfg.Deadlines = append([]time.Duration(nil), deadlines...)

@@ -135,13 +135,13 @@ type WindowStats struct {
 
 // Result summarizes a whole scheduler run.
 type Result struct {
-	Windows    []WindowStats   `json:"windows"`
-	Decisions  []Decision      `json:"decisions"`
-	FinalPaces []int           `json:"final_paces"`
-	TotalWork  int64           `json:"total_work"`
-	Met        int             `json:"met"`
-	Missed     int             `json:"missed"`
-	Trace      []FiringRecord  `json:"trace,omitempty"`
+	Windows    []WindowStats  `json:"windows"`
+	Decisions  []Decision     `json:"decisions"`
+	FinalPaces []int          `json:"final_paces"`
+	TotalWork  int64          `json:"total_work"`
+	Met        int            `json:"met"`
+	Missed     int            `json:"missed"`
+	Trace      []FiringRecord `json:"trace,omitempty"`
 }
 
 // Scheduler drives one plan's incremental executions against the clock. Use
@@ -178,9 +178,23 @@ type Scheduler struct {
 	// atomic flush per window keep the per-firing hot path free of atomics.
 	winSubExecs []int64
 	winSubWork  []int64
+	// lastArr is the arrangement registry's lifetime counters at the last
+	// flush, so window metrics carry per-window deltas.
+	lastArr exec.ArrangeStats
 
 	res  Result
 	done bool
+}
+
+// flushArrangeStats publishes the runner's arrangement accounting: lifetime
+// counters as deltas since the last flush (so each window's metrics describe
+// that window), called at window close and after a graft.
+func (s *Scheduler) flushArrangeStats() {
+	st := s.runner.ArrangeStats()
+	s.reg.Counter("exec.arrangements.built").Add(st.Built - s.lastArr.Built)
+	s.reg.Counter("exec.arrangements.shared_attaches").Add(st.SharedAttaches - s.lastArr.SharedAttaches)
+	s.reg.Counter("exec.arrangements.freed").Add(st.Freed - s.lastArr.Freed)
+	s.lastArr = st
 }
 
 // New builds a scheduler over the graph with the given starting pace vector
@@ -309,6 +323,7 @@ func (s *Scheduler) Tick() (bool, error) {
 		if s.window >= s.cfg.Windows {
 			s.res.FinalPaces = append([]int(nil), s.paces...)
 			s.done = true
+			s.runner.CountArrangements()
 			return false, nil
 		}
 	}
@@ -561,5 +576,6 @@ func (s *Scheduler) closeWindow() {
 			trace.Arg{Key: "max_lag", Value: s.maxLag},
 			trace.Arg{Key: "overloaded", Value: ws.Overloaded})
 	}
+	s.flushArrangeStats()
 	s.res.Windows = append(s.res.Windows, ws)
 }

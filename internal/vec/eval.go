@@ -37,9 +37,9 @@ type Eval struct {
 
 	src  expr.Expr
 	buf  []value.Value
-	tbuf []bool      // Truths scratch: pointer-free, invisible to the GC
-	sel  SelVector   // AND/OR short-circuit sub-selection scratch
-	row  value.Row   // fallback scratch
+	tbuf []bool    // Truths scratch: pointer-free, invisible to the GC
+	sel  SelVector // AND/OR short-circuit sub-selection scratch
+	row  value.Row // fallback scratch
 }
 
 // Compile builds the vectorized form of e.

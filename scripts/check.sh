@@ -31,6 +31,13 @@ go test -race ./...
 echo "== go test (ISHARE_BATCH=3)"
 ISHARE_BATCH=3 go test -count=1 ./internal/exec ./internal/oracle
 
+# Sharing-off coverage: rerun the executor and differential tests with the
+# arrangement registry disabled, so the private-state path stays proven
+# equivalent (results and modeled work are required to be byte-identical
+# in both modes; the oracle also flips the knob mid-churn).
+echo "== go test (ISHARE_SHARE_ARRANGEMENTS=0)"
+ISHARE_SHARE_ARRANGEMENTS=0 go test -count=1 ./internal/exec ./internal/oracle
+
 echo "== trace smoke (-experiment sched -trace)"
 TRACE_OUT="$(mktemp /tmp/ishare-trace.XXXXXX.json)"
 go run ./cmd/ishare -experiment sched -sf 0.02 -trace "$TRACE_OUT" >/dev/null
@@ -40,11 +47,11 @@ rm -f "$TRACE_OUT"
 # Informational benchmark diff: when both the frozen baseline and a current
 # bench-json report exist, print the per-benchmark deltas. Never fails the
 # gate — CI-runner noise is too high for a hard perf gate.
-if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
+if [ -f BENCH_PR7.json ] && [ -f BENCH_PR8.json ]; then
 	echo "== bench-diff (informational)"
-	go run ./cmd/benchdiff BENCH_PR6.json BENCH_PR7.json || true
+	go run ./cmd/benchdiff BENCH_PR7.json BENCH_PR8.json || true
 else
-	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR7.json)"
+	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR8.json)"
 fi
 
 if [ "${SKIP_FUZZ:-}" != "1" ]; then

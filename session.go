@@ -48,6 +48,11 @@ type AdmitStats struct {
 	Sims, Evals int64
 	// Replayed counts window replays performed to catch fresh subplans up.
 	Replayed int
+	// SharedArrangements counts indexed-state attaches during the graft
+	// served by an existing arrangement instead of a rebuild;
+	// FreedArrangements counts arrangements whose last sharer left with
+	// this revision (reclaimed at the next window boundary).
+	SharedArrangements, FreedArrangements int
 	// Paces is the pace vector of the new revision.
 	Paces []int
 }
@@ -184,14 +189,16 @@ func (s *Session) Retire(name string) (*AdmitStats, error) {
 
 func admitStats(rep *opt.AdmitReport, gs *exec.GraftStats) *AdmitStats {
 	return &AdmitStats{
-		Slot:            rep.Slot,
-		MatchedSubplans: rep.Matched,
-		FreshSubplans:   rep.Fresh,
-		MemoSeeded:      rep.MemoSeeded,
-		Sims:            rep.Sims,
-		Evals:           rep.Evals,
-		Replayed:        gs.Replayed,
-		Paces:           append([]int(nil), rep.Paces...),
+		Slot:               rep.Slot,
+		MatchedSubplans:    rep.Matched,
+		FreshSubplans:      rep.Fresh,
+		MemoSeeded:         rep.MemoSeeded,
+		Sims:               rep.Sims,
+		Evals:              rep.Evals,
+		Replayed:           gs.Replayed,
+		SharedArrangements: gs.ArrangementsShared,
+		FreedArrangements:  gs.ArrangementsFreed,
+		Paces:              append([]int(nil), rep.Paces...),
 	}
 }
 
