@@ -26,16 +26,16 @@ bench:
 # them as a machine-readable JSON report (name/iters/ns_op/bytes_op/
 # allocs_op per benchmark); CI uploads the file as an artifact so perf
 # regressions can be diffed across runs.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 BENCH_TIME ?= 1x
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # bench-diff prints a per-benchmark delta table between the checked-in
-# baseline report (BENCH_BASE, frozen before the online-admission work)
-# and the current report produced by bench-json. Informational: the
+# baseline report (BENCH_BASE, frozen before the closed-loop observability
+# work) and the current report produced by bench-json. Informational: the
 # exit status ignores how the numbers moved.
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR8.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_JSON)
 

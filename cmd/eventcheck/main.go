@@ -1,0 +1,68 @@
+// Command eventcheck validates a structured event log produced by
+// ishare -events: the file must be well-formed JSONL against the event
+// schema (dense ascending sequence numbers, non-empty types), and every
+// required event type must appear at least once. CI's status-smoke step
+// runs it over a fresh -experiment sched event log, the way tracecheck
+// validates Chrome traces.
+//
+//	eventcheck [-types window.close] out.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ishare/internal/eventlog"
+)
+
+func main() {
+	types := flag.String("types", "window.close", "comma-separated event types that must each appear at least once")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eventcheck [-types a,b,c] events.jsonl")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), strings.Split(*types, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "eventcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, required []string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, byType, err := eventlog.Validate(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var missing []string
+	for _, t := range required {
+		if t != "" && byType[t] == 0 {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s missing events of types %v (have %s)", path, missing, typeCounts(byType))
+	}
+	fmt.Printf("%s: %d events, %s\n", path, n, typeCounts(byType))
+	return nil
+}
+
+func typeCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -27,10 +27,12 @@ import (
 	"strings"
 	"time"
 
+	"ishare/internal/eventlog"
 	"ishare/internal/experiments"
 	"ishare/internal/metrics"
 	"ishare/internal/mqo"
 	"ishare/internal/opt"
+	"ishare/internal/sched"
 	"ishare/internal/tpch"
 	"ishare/internal/trace"
 )
@@ -41,6 +43,8 @@ type options struct {
 	Config       experiments.Config
 	DOT          string
 	ServeMetrics string
+	ServeStatus  string
+	Events       string
 	Trace        string
 	Explain      string
 	Rel          float64
@@ -60,7 +64,9 @@ func parseArgs(args []string) (*options, error) {
 		optWorkers   = fs.Int("opt-workers", 0, "pace-search candidate evaluation workers (1 = sequential, 0 = GOMAXPROCS)")
 		budget       = fs.Duration("dnf", 30*time.Second, "optimization budget before DNF (fig15)")
 		dot          = fs.String("dot", "", "instead of an experiment, write the shared plan of the named queries (comma-separated, e.g. Q1,Q15) as Graphviz DOT to stdout")
-		serveMetrics = fs.String("serve-metrics", "", "serve scheduler metrics as JSON on this address (e.g. :8080) while and after running the experiment")
+		serveMetrics = fs.String("serve-metrics", "", "serve scheduler metrics as JSON on this address (e.g. :8080) while and after running the experiment; /prometheus serves the text exposition format")
+		serveStatus  = fs.String("serve-status", "", "serve a live statusz endpoint (pace vector, per-query slack, per-subplan drift table, arrangement stats) on this address (e.g. :8081)")
+		events       = fs.String("events", "", "write the run's structured event log (window closes, degradations, drift alerts, grafts) as JSONL to this file")
 		traceOut     = fs.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable) covering the run")
 		explain      = fs.String("explain", "", "instead of an experiment, print the optimizer's EXPLAIN report for the named queries (comma-separated, e.g. Q1,Q6,Q14)")
 		rel          = fs.Float64("rel", 0.5, "uniform relative final-work constraint for -explain")
@@ -78,6 +84,8 @@ func parseArgs(args []string) (*options, error) {
 		},
 		DOT:          *dot,
 		ServeMetrics: *serveMetrics,
+		ServeStatus:  *serveStatus,
+		Events:       *events,
 		Trace:        *traceOut,
 		Explain:      *explain,
 		Rel:          *rel,
@@ -141,16 +149,50 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "ishare: serving metrics on %s\n", opts.ServeMetrics)
 	}
+	if opts.ServeStatus != "" {
+		board := &sched.StatusBoard{}
+		opts.Config.Status = board
+		opts.Config.Profile = true
+		go func() {
+			if err := http.ListenAndServe(opts.ServeStatus, sched.StatusHandler(board)); err != nil {
+				fmt.Fprintln(os.Stderr, "ishare: serve-status:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ishare: serving statusz on %s\n", opts.ServeStatus)
+	}
+	var eventsFile *os.File
+	if opts.Events != "" {
+		f, err := os.Create(opts.Events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ishare: events:", err)
+			os.Exit(1)
+		}
+		eventsFile = f
+		opts.Config.Events = eventlog.New(f, 0)
+		opts.Config.Profile = true
+	}
 	if err := run(os.Stdout, opts.Experiment, opts.Config, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "ishare:", err)
 		os.Exit(1)
+	}
+	if eventsFile != nil {
+		if err := opts.Config.Events.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "ishare: events:", err)
+			os.Exit(1)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ishare: events:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ishare: wrote %d events to %s\n", opts.Config.Events.Len(), opts.Events)
 	}
 	if err := writeTrace(opts.Config.Tracer, opts.Trace); err != nil {
 		fmt.Fprintln(os.Stderr, "ishare:", err)
 		os.Exit(1)
 	}
-	if opts.ServeMetrics != "" {
-		fmt.Fprintf(os.Stderr, "ishare: experiment done; still serving metrics on %s (interrupt to exit)\n", opts.ServeMetrics)
+	if opts.ServeMetrics != "" || opts.ServeStatus != "" {
+		fmt.Fprintf(os.Stderr, "ishare: experiment done; still serving (interrupt to exit)\n")
 		select {}
 	}
 }

@@ -1,0 +1,160 @@
+package eventlog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEmitAssignsDenseSequence(t *testing.T) {
+	l := New(nil, 8)
+	l.Emit("window.close", 100, 0, -1, -1, nil)
+	l.Emit("drift.alert", 200, 1, 3, -1, map[string]interface{}{"drift": 2.5})
+	l.Emit("graft", 300, 2, -1, -1, nil)
+	if got := l.Len(); got != 3 {
+		t.Fatalf("Len() = %d, want 3", got)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() = %d entries, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if evs[1].Type != "drift.alert" || evs[1].Subplan != 3 || evs[1].Attrs["drift"] != 2.5 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	l := New(nil, 3)
+	for i := 0; i < 5; i++ {
+		l.Emit("e", int64(i), i, -1, -1, nil)
+	}
+	if got := l.Len(); got != 5 {
+		t.Fatalf("Len() = %d, want 5", got)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i+2 {
+			t.Errorf("retained event %d has seq %d, want %d (oldest evicted, order kept)", i, e.Seq, i+2)
+		}
+	}
+}
+
+func TestSinkStreamsSameBytesAsWriteJSONL(t *testing.T) {
+	var sink bytes.Buffer
+	l := New(&sink, 16)
+	l.Emit("window.close", 1_000_000_000, 0, -1, -1, map[string]interface{}{"work": int64(42), "overloaded": false})
+	l.Emit("drift.alert", 2_000_000_000, 1, 2, -1, map[string]interface{}{"drift": 3.0})
+	var ring bytes.Buffer
+	if err := l.WriteJSONL(&ring); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != ring.String() {
+		t.Errorf("sink and ring render differently:\nsink: %q\nring: %q", sink.String(), ring.String())
+	}
+	if !strings.Contains(sink.String(), `"type":"window.close"`) {
+		t.Errorf("rendered JSONL missing type: %q", sink.String())
+	}
+}
+
+func TestValidateAcceptsOwnOutput(t *testing.T) {
+	l := New(nil, 8)
+	l.Emit("window.close", 1, 0, -1, -1, nil)
+	l.Emit("window.close", 2, 1, -1, -1, map[string]interface{}{"met": 2})
+	l.Emit("graft", 3, 2, -1, -1, nil)
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, byType, err := Validate(&buf)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if n != 3 || byType["window.close"] != 2 || byType["graft"] != 1 {
+		t.Errorf("n=%d byType=%v", n, byType)
+	}
+}
+
+func TestValidateRejectsBadStreams(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"not json", "hello\n"},
+		{"unknown field", `{"seq":0,"at_ns":1,"type":"x","window":0,"subplan":-1,"query":-1,"bogus":1}` + "\n"},
+		{"empty type", `{"seq":0,"at_ns":1,"type":"","window":0,"subplan":-1,"query":-1}` + "\n"},
+		{"gap in seq", `{"seq":0,"at_ns":1,"type":"a","window":0,"subplan":-1,"query":-1}` + "\n" +
+			`{"seq":2,"at_ns":2,"type":"a","window":1,"subplan":-1,"query":-1}` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := Validate(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: Validate accepted a bad stream", tc.name)
+		}
+	}
+	// Sequence may start anywhere, as long as it stays dense (the bounded
+	// ring may have evicted a prefix before WriteJSONL).
+	ok := `{"seq":7,"at_ns":1,"type":"a","window":0,"subplan":-1,"query":-1}` + "\n" +
+		`{"seq":8,"at_ns":2,"type":"a","window":1,"subplan":-1,"query":-1}` + "\n"
+	if _, _, err := Validate(strings.NewReader(ok)); err != nil {
+		t.Errorf("offset-start stream rejected: %v", err)
+	}
+}
+
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestSinkErrorIsSticky(t *testing.T) {
+	sink := &failAfter{n: 1}
+	l := New(sink, 8)
+	l.Emit("a", 1, 0, -1, -1, nil)
+	if err := l.Err(); err != nil {
+		t.Fatalf("first emit errored: %v", err)
+	}
+	l.Emit("b", 2, 1, -1, -1, nil)
+	if err := l.Err(); err == nil {
+		t.Fatal("failing sink did not surface an error")
+	}
+	// The ring keeps recording past the sink failure.
+	l.Emit("c", 3, 2, -1, -1, nil)
+	if got := l.Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3", got)
+	}
+}
+
+func TestNilLogNoOps(t *testing.T) {
+	var l *Log
+	if l.Enabled() {
+		t.Error("nil log reports enabled")
+	}
+	l.Emit("a", 1, 0, -1, -1, nil)
+	if l.Len() != 0 || l.Err() != nil || l.Events() != nil {
+		t.Error("nil log returned data")
+	}
+	if err := l.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		l.Emit("a", 1, 0, -1, -1, nil)
+		_ = l.Len()
+	}); allocs != 0 {
+		t.Errorf("nil log allocates %v per run, want 0", allocs)
+	}
+}

@@ -24,6 +24,15 @@ type SubplanExec struct {
 	inputs  map[inputKey]*buffer.Reader
 	perExec []Work
 	opWork  map[*mqo.Op]Work
+	// batch is the vectorized chunk size the member operators iterate
+	// with; batches counts the chunks they processed (cumulative), and
+	// lastBatches the chunks of the most recent RunOnce — the profiler's
+	// physical batch-count column. Chunk counts are derived here from
+	// input lengths with exactly delta.NewChunks' windowing, so they stay
+	// deterministic without threading counters through the operators.
+	batch       int
+	batches     int64
+	lastBatches int64
 	// winOut records Out.Len() at each window seal (see Runner.sealWindow):
 	// the marks that let a graft feed a rebuilt parent subplan exactly this
 	// executor's window-k output during replay.
@@ -57,6 +66,7 @@ func NewSubplanExec(g *mqo.Graph, sub *mqo.Subplan, res inputResolver, batch int
 		member: make(map[*mqo.Op]bool),
 		inputs: make(map[inputKey]*buffer.Reader),
 		opWork: make(map[*mqo.Op]Work),
+		batch:  batch,
 	}
 	for _, o := range sub.Ops {
 		se.member[o] = true
@@ -99,7 +109,9 @@ var DebugSlowSubplan func(subplanID int) int64
 
 // RunOnce performs one incremental execution and returns its work.
 func (se *SubplanExec) RunOnce() Work {
+	b0 := se.batches
 	out, w := se.eval(se.Sub.Root)
+	se.lastBatches = se.batches - b0
 	se.Out.Append(out...)
 	// Materializing the root's output into the buffer is accounted as
 	// extra output work (the paper charges intermediate materialization),
@@ -127,6 +139,19 @@ func (se *SubplanExec) eval(op *mqo.Op) ([]delta.Tuple, Work) {
 				ins[i] = batch
 			} else {
 				ins[i] = se.inputs[inputKey{op, i}].ReadNew()
+			}
+		}
+	}
+	// Count the chunks the operator is about to iterate: one window of at
+	// most batch tuples per non-empty input, the whole input when batch < 1
+	// — mirroring delta.NewChunks so the count is exact without touching
+	// the operators' hot loops.
+	for _, in := range ins {
+		if n := len(in); n > 0 {
+			if se.batch < 1 {
+				se.batches++
+			} else {
+				se.batches += int64((n + se.batch - 1) / se.batch)
 			}
 		}
 	}
@@ -164,6 +189,12 @@ func (se *SubplanExec) FinalWork() Work {
 
 // ExecWork returns the work of execution i.
 func (se *SubplanExec) ExecWork(i int) Work { return se.perExec[i] }
+
+// Batches returns the cumulative vectorized chunk count across executions;
+// LastBatches the chunks of the most recent execution. Physical metrics:
+// they vary with the batch size, unlike the modeled Work counters.
+func (se *SubplanExec) Batches() int64     { return se.batches }
+func (se *SubplanExec) LastBatches() int64 { return se.lastBatches }
 
 // release drops the member operators' arrangement handles; a graft calls
 // it on every subplan executor the new plan revision no longer carries.

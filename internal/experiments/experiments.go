@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"ishare/internal/catalog"
+	"ishare/internal/eventlog"
 	"ishare/internal/exec"
 	"ishare/internal/opt"
 	"ishare/internal/plan"
+	"ishare/internal/sched"
 	"ishare/internal/tpch"
 	"ishare/internal/trace"
 )
@@ -41,6 +43,15 @@ type Config struct {
 	// Tracer optionally records the whole run — parse/build/search spans,
 	// decision logs, scheduler firings — for -trace and -explain.
 	Tracer *trace.Tracer
+	// Events optionally receives every scheduler-backed experiment's
+	// structured event log (-events); nil disables.
+	Events *eventlog.Log
+	// Status optionally receives the live scheduler status at each window
+	// close, for the -serve-status statusz endpoint; nil disables.
+	Status *sched.StatusBoard
+	// Profile enables per-subplan drift profiling in scheduler-backed
+	// experiments, baselined on each job's cost-model evaluation.
+	Profile bool
 }
 
 // withDefaults fills unset fields.

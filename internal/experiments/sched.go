@@ -9,6 +9,7 @@ import (
 	"ishare/internal/exec"
 	"ishare/internal/metrics"
 	"ishare/internal/opt"
+	"ishare/internal/profile"
 	"ishare/internal/sched"
 )
 
@@ -97,6 +98,19 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 				goal := rel[global] * float64(w.BatchFinal[global])
 				deadlines[local] = time.Duration(goal / workRate * float64(time.Second))
 			}
+			var prof *profile.Profiler
+			if cfg.Profile && job.Model != nil {
+				// Baseline each subplan on the cost model's per-window
+				// prediction under the scheduled pace vector — the same
+				// evaluation that chose the paces, so drift means "reality
+				// left the plan's assumptions".
+				if ev, err := job.Model.Evaluate(job.Paces); err == nil {
+					prof = profile.New(profile.Config{
+						Subplans: len(job.Graph.Subplans),
+						Modeled:  ev.SubTotal,
+					})
+				}
+			}
 			s, err := sched.New(job.Graph, job.Paces, sched.Slices{Data: data, N: windows}, sched.Config{
 				Window:    window,
 				Windows:   windows,
@@ -106,6 +120,9 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 				Metrics:   reg,
 				Tracer:    cfg.Tracer,
 				TraceName: fmt.Sprintf("%s job %d", a, ji),
+				Profile:   prof,
+				Events:    cfg.Events,
+				Status:    cfg.Status,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", a, err)

@@ -1,17 +1,22 @@
 // Package metrics is the engine's lightweight instrumentation layer: named
-// monotonic counters and fixed-bucket histograms collected into a Registry.
-// Snapshots are deterministic — given the same observation sequence, two
-// snapshots marshal to byte-identical JSON (encoding/json sorts map keys) —
-// which is what lets the scheduler's virtual-clock tests compare whole
-// metric dumps for equality. Handler serves a snapshot as JSON for
-// cmd/ishare -serve-metrics.
+// monotonic counters, set-style gauges and fixed-bucket histograms collected
+// into a Registry. Snapshots are deterministic — given the same observation
+// sequence, two snapshots marshal to byte-identical JSON (encoding/json
+// sorts map keys) — which is what lets the scheduler's virtual-clock tests
+// compare whole metric dumps for equality. Handler serves a snapshot as
+// JSON (for cmd/ishare -serve-metrics) and as Prometheus text exposition
+// format on /prometheus.
 package metrics
 
 import (
 	"encoding/json"
-	"fmt"
+	"io"
+	"log"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -29,6 +34,29 @@ func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is a last-value-wins float64 metric, safe for concurrent use — the
+// instantaneous complement of the monotonic Counter (current window index,
+// live query count, last window's lag).
+type Gauge struct {
+	bits uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop; last write wins under contention).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		if atomic.CompareAndSwapUint64(&g.bits, old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
 
 // Histogram counts observations into fixed upper-bound buckets and keeps
 // count, sum, min and max. Observations above the last bound land in an
@@ -110,10 +138,11 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
-// Registry is a named collection of counters and histograms.
+// Registry is a named collection of counters, gauges and histograms.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -121,6 +150,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -135,6 +165,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given bucket
@@ -172,6 +214,7 @@ type HistogramSnapshot struct {
 // JSON is deterministic: map keys are sorted by encoding/json.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -181,10 +224,14 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		h.mu.Lock()
@@ -219,22 +266,128 @@ func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// Handler serves the registry as JSON: GET / or /metrics returns a fresh
-// snapshot. Any other method gets 405.
+// promName rewrites a metric name into the Prometheus exposition charset:
+// dots and dashes become underscores, any other character outside
+// [a-zA-Z0-9_:] becomes an underscore too.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as TYPE counter, gauges as TYPE gauge,
+// histograms as TYPE histogram with cumulative buckets ending in +Inf.
+// Names are sorted, so the rendering is deterministic.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		b.WriteString("# TYPE " + pn + " counter\n")
+		b.WriteString(pn + " " + strconv.FormatInt(s.Counters[name], 10) + "\n")
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		b.WriteString("# TYPE " + pn + " gauge\n")
+		b.WriteString(pn + " " + promFloat(s.Gauges[name]) + "\n")
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hs := s.Histograms[name]
+		pn := promName(name)
+		b.WriteString("# TYPE " + pn + " histogram\n")
+		var cum int64
+		for _, bk := range hs.Buckets {
+			cum += bk.N
+			b.WriteString(pn + `_bucket{le="` + promFloat(bk.LE) + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+		}
+		cum += hs.Overflow
+		b.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatInt(cum, 10) + "\n")
+		b.WriteString(pn + "_sum " + promFloat(hs.Sum) + "\n")
+		b.WriteString(pn + "_count " + strconv.FormatInt(hs.Count, 10) + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// logf is the package's error logger, injectable for tests. It defaults to
+// the standard logger.
+var logf = log.Printf
+
+// SetLogger redirects the package's error logging (a nil fn restores the
+// default) and returns the previous logger.
+func SetLogger(fn func(format string, args ...interface{})) func(format string, args ...interface{}) {
+	prev := logf
+	if fn == nil {
+		fn = log.Printf
+	}
+	logf = fn
+	return prev
+}
+
+// Handler serves the registry: GET / or /metrics returns a fresh snapshot
+// as JSON, GET /prometheus the same snapshot in Prometheus text exposition
+// format. Any other method gets 405.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		if req.URL.Path != "/" && req.URL.Path != "/metrics" {
+		switch req.URL.Path {
+		case "/", "/metrics":
+			if err := r.Snapshot().WriteJSON(w); err != nil {
+				// The body may be partially written; nothing useful to
+				// do beyond logging the error.
+				logf("metrics: write snapshot: %v", err)
+			}
+		case "/prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := r.Snapshot().WritePrometheus(w); err != nil {
+				logf("metrics: write prometheus: %v", err)
+			}
+		default:
 			http.NotFound(w, req)
-			return
-		}
-		if err := r.Snapshot().WriteJSON(w); err != nil {
-			// The body may be partially written; nothing useful to do
-			// beyond logging via the error text.
-			fmt.Println("metrics: write snapshot:", err)
 		}
 	})
 }

@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("sched.window")
+	if g.Value() != 0 {
+		t.Fatalf("fresh gauge = %v", g.Value())
+	}
+	g.Set(3)
+	g.Add(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+	g.Set(-7.25)
+	if got := g.Value(); got != -7.25 {
+		t.Errorf("gauge = %v, want -7.25", got)
+	}
+	if reg.Gauge("sched.window") != g {
+		t.Error("same name returned a different gauge")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["sched.window"]; got != -7.25 {
+		t.Errorf("snapshot gauge = %v", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Errorf("concurrent adds lost updates: %v, want 8000", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sched.executions").Add(42)
+	reg.Gauge("sched.last_max_lag_ms").Set(1.5)
+	h := reg.Histogram("sched.query_slack_ms", -100, 0, 100)
+	h.Observe(-80)
+	h.Observe(-20)
+	h.Observe(60)
+	h.Observe(9000) // overflow
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE sched_executions counter",
+		"sched_executions 42",
+		"# TYPE sched_last_max_lag_ms gauge",
+		"sched_last_max_lag_ms 1.5",
+		"# TYPE sched_query_slack_ms histogram",
+		`sched_query_slack_ms_bucket{le="-100"} 0`,
+		`sched_query_slack_ms_bucket{le="0"} 2`,
+		`sched_query_slack_ms_bucket{le="100"} 3`,
+		`sched_query_slack_ms_bucket{le="+Inf"} 4`,
+		"sched_query_slack_ms_sum 8960",
+		"sched_query_slack_ms_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition:\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"sched.subplan.3.work": "sched_subplan_3_work",
+		"a-b c":                "a_b_c",
+		"3abc":                 "_3abc",
+		"ok_name:x":            "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerServesPrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sched.windows").Add(3)
+	reg.Gauge("sched.window").Set(2)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"# TYPE sched_windows counter", "sched_windows 3", "# TYPE sched_window gauge", "sched_window 2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// failRW is an http.ResponseWriter whose body writes always fail — the
+// client hung up mid-response.
+type failRW struct {
+	h http.Header
+}
+
+func (w *failRW) Header() http.Header       { return w.h }
+func (w *failRW) WriteHeader(int)           {}
+func (w *failRW) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+func TestHandlerLogsWriteErrors(t *testing.T) {
+	var logged []string
+	prev := SetLogger(func(format string, args ...interface{}) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	defer SetLogger(prev)
+
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	h := Handler(reg)
+	for _, path := range []string{"/metrics", "/prometheus"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		h.ServeHTTP(&failRW{h: make(http.Header)}, req)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("logged %d messages, want 2: %v", len(logged), logged)
+	}
+	if !strings.Contains(logged[0], "write snapshot") || !strings.Contains(logged[0], "client gone") {
+		t.Errorf("JSON error message = %q", logged[0])
+	}
+	if !strings.Contains(logged[1], "write prometheus") {
+		t.Errorf("prometheus error message = %q", logged[1])
+	}
+}
+
+func TestSetLoggerRestore(t *testing.T) {
+	called := false
+	prev := SetLogger(func(string, ...interface{}) { called = true })
+	logf("x")
+	if !called {
+		t.Error("injected logger not used")
+	}
+	if restored := SetLogger(prev); restored == nil {
+		t.Error("SetLogger returned nil previous logger")
+	}
+	if got := SetLogger(nil); got == nil {
+		t.Error("previous logger lost")
+	}
+	SetLogger(prev)
+}
+
+// TestQuantileNegativeBounds exercises interpolation over the negative
+// bucket range sched.query_slack_ms actually uses.
+func TestQuantileNegativeBounds(t *testing.T) {
+	var h Histogram
+	h.bounds = []float64{-100, 0, 100}
+	h.counts = make([]int64, 3)
+	for _, v := range []float64{-80, -20, 60} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != -80 {
+		t.Errorf("q0 = %v, want observed min -80", got)
+	}
+	if got := h.Quantile(1); got != 60 {
+		t.Errorf("q1 = %v, want observed max 60", got)
+	}
+	// rank 1.5 lands in the (-100, 0] bucket holding 2 observations:
+	// lo = min = -80, frac = 0.75 → -80 + 0.75·80 = -20.
+	if got := h.Quantile(0.5); got != -20 {
+		t.Errorf("q0.5 = %v, want -20", got)
+	}
+	// rank 2.7 lands in the (0, 100] bucket; interpolation overshoots the
+	// observed max and must clamp to it.
+	if got := h.Quantile(0.9); got != 60 {
+		t.Errorf("q0.9 = %v, want clamped max 60", got)
+	}
+
+	// All-negative observations: every estimate stays in [min, max] < 0.
+	var neg Histogram
+	neg.bounds = []float64{-5000, -1000, -100, -10, 0}
+	neg.counts = make([]int64, 5)
+	for _, v := range []float64{-4000, -2000, -500, -50} {
+		neg.Observe(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := neg.Quantile(q)
+		if got < -4000 || got > -50 {
+			t.Errorf("q%v = %v, outside observed [-4000, -50]", q, got)
+		}
+	}
+}
+
+// TestConcurrentObserveSnapshot races histogram observations and gauge
+// updates against snapshotting and Prometheus rendering; run under -race.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := reg.Histogram("sched.query_slack_ms", -5000, -1000, -100, -10, 0, 10, 100, 1000, 5000)
+			g := reg.Gauge("sched.window")
+			c := reg.Counter("sched.executions")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(i%11000 - 5500))
+				g.Set(float64(i))
+				c.Inc()
+				_ = h.Quantile(0.5)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		snap := reg.Snapshot()
+		if _, err := snap.JSON(); err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.WritePrometheus(&bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	hs := reg.Snapshot().Histograms["sched.query_slack_ms"]
+	var sum int64
+	for _, b := range hs.Buckets {
+		sum += b.N
+	}
+	if sum+hs.Overflow != hs.Count {
+		t.Errorf("bucket sum %d + overflow %d != count %d", sum, hs.Overflow, hs.Count)
+	}
+}

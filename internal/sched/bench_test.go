@@ -4,7 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"ishare/internal/eventlog"
 	"ishare/internal/exec"
+	"ishare/internal/profile"
 	"ishare/internal/sched"
 )
 
@@ -24,8 +26,24 @@ func (s firstWindowOnly) WindowData(i int) exec.DeltaDataset {
 
 // BenchmarkSchedulerTick measures one firing-group step of the scheduler
 // hot path (arrival, execution, clock accounting, metrics) on the virtual
-// clock. Run with -benchmem; numbers are recorded in CHANGES.md.
+// clock with every observability hook nil — the disabled path whose cost
+// must not move when profiling exists but is off. Run with -benchmem;
+// numbers are recorded in CHANGES.md.
 func BenchmarkSchedulerTick(b *testing.B) {
+	benchTick(b, func() (*profile.Profiler, *eventlog.Log) { return nil, nil })
+}
+
+// BenchmarkSchedulerTickObserved is the same hot path with the per-window
+// profiler and the event-log ring attached — the marginal cost of closing
+// the observability loop.
+func BenchmarkSchedulerTickObserved(b *testing.B) {
+	benchTick(b, func() (*profile.Profiler, *eventlog.Log) {
+		tp := buildPlan(b, 7)
+		return profile.New(profile.Config{Subplans: len(tp.graph.Subplans)}), eventlog.New(nil, 0)
+	})
+}
+
+func benchTick(b *testing.B, obs func() (*profile.Profiler, *eventlog.Log)) {
 	tp := buildPlan(b, 7)
 	paces := make([]int, len(tp.graph.Subplans))
 	for i := range paces {
@@ -36,12 +54,15 @@ func BenchmarkSchedulerTick(b *testing.B) {
 		deadlines[i] = 100 * time.Millisecond
 	}
 	newSched := func() *sched.Scheduler {
+		prof, ev := obs()
 		s, err := sched.New(tp.graph, paces, firstWindowOnly{data: tp.data}, sched.Config{
 			Window:    time.Second,
 			Windows:   1 << 30, // never exhausted within one benchmark run
 			Clock:     sched.NewVirtualClock(time.Unix(0, 0)),
 			WorkRate:  1_000_000,
 			Deadlines: deadlines,
+			Profile:   prof,
+			Events:    ev,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -43,7 +43,22 @@ func (s *Scheduler) Graft(g *mqo.Graph, paces []int, deadlines []time.Duration) 
 	if err != nil {
 		return nil, err
 	}
-	s.flushArrangeStats()
+	arr := s.flushArrangeStats()
+	// Graft keeps subplan ids slot-stable, so the profiler preserves the
+	// drift EWMA of surviving ids; the baseline is cleared until the caller
+	// supplies one for the new revision (profile.SetModeled).
+	s.prof.Graft(len(g.Subplans), nil)
+	if s.ev.Enabled() {
+		atNS := (time.Duration(s.window) * s.cfg.Window).Nanoseconds()
+		s.ev.Emit("graft", atNS, s.window, -1, -1, map[string]interface{}{
+			"subplans": len(g.Subplans), "queries": g.Plan.NumQueries(),
+			"adopted": stats.Adopted, "rebuilt": stats.Rebuilt,
+			"replayed":            stats.Replayed,
+			"arrangements_built":  arr.Built,
+			"arrangements_shared": stats.ArrangementsShared,
+			"arrangements_freed":  stats.ArrangementsFreed,
+		})
+	}
 	s.graph = g
 	s.paces = append([]int(nil), paces...)
 	s.cfg.Deadlines = append([]time.Duration(nil), deadlines...)

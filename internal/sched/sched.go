@@ -36,10 +36,12 @@ import (
 	"sync"
 	"time"
 
+	"ishare/internal/eventlog"
 	"ishare/internal/exec"
 	"ishare/internal/metrics"
 	"ishare/internal/mqo"
 	"ishare/internal/pace"
+	"ishare/internal/profile"
 	"ishare/internal/trace"
 	"ishare/internal/value"
 )
@@ -93,6 +95,26 @@ type Config struct {
 	// empty) — one process per scheduler run gives one Perfetto track
 	// group per job.
 	TraceName string
+	// Profile optionally collects per-subplan per-window execution
+	// profiles {modeled Work, measured wall-ns, firings, batch counts}
+	// and maintains each subplan's observed/modeled drift EWMA.
+	// Observations happen in the canonical accounting loop and drift is a
+	// pure function of deterministic Work counts, so profiles and alerts
+	// are identical at any Workers setting; only the wall-ns column is
+	// nondeterministic. nil disables profiling (one pointer check per
+	// firing, no allocations).
+	Profile *profile.Profiler
+	// Events optionally receives the run's structured events — window
+	// closes, degradation decisions, drift alerts, arrangement lifecycle,
+	// grafts — timestamped with clock offsets from the run epoch. Emitted
+	// from the canonical accounting path only, so a VirtualClock run
+	// renders byte-identical JSONL at any Workers setting. nil disables.
+	Events *eventlog.Log
+	// Status optionally receives a live status snapshot at every window
+	// close (pace vector, per-query slack, per-subplan drift table,
+	// arrangement stats) for StatusHandler's statusz endpoint. nil
+	// disables.
+	Status *StatusBoard
 }
 
 // FiringRecord traces one incremental execution (recorded when Config.Trace
@@ -169,6 +191,9 @@ type Scheduler struct {
 	winExecs int
 
 	tr        *trace.Tracer
+	prof      *profile.Profiler
+	ev        *eventlog.Log
+	status    *StatusBoard
 	tracePid  int
 	traceBase time.Duration      // scheduler epoch's offset on the tracer timeline
 	subExecs  []*metrics.Counter // per-subplan execution counters
@@ -188,13 +213,20 @@ type Scheduler struct {
 
 // flushArrangeStats publishes the runner's arrangement accounting: lifetime
 // counters as deltas since the last flush (so each window's metrics describe
-// that window), called at window close and after a graft.
-func (s *Scheduler) flushArrangeStats() {
+// that window), called at window close and after a graft. It returns the
+// deltas so callers can put them on the event log.
+func (s *Scheduler) flushArrangeStats() exec.ArrangeStats {
 	st := s.runner.ArrangeStats()
-	s.reg.Counter("exec.arrangements.built").Add(st.Built - s.lastArr.Built)
-	s.reg.Counter("exec.arrangements.shared_attaches").Add(st.SharedAttaches - s.lastArr.SharedAttaches)
-	s.reg.Counter("exec.arrangements.freed").Add(st.Freed - s.lastArr.Freed)
+	d := exec.ArrangeStats{
+		Built:          st.Built - s.lastArr.Built,
+		SharedAttaches: st.SharedAttaches - s.lastArr.SharedAttaches,
+		Freed:          st.Freed - s.lastArr.Freed,
+	}
+	s.reg.Counter("exec.arrangements.built").Add(d.Built)
+	s.reg.Counter("exec.arrangements.shared_attaches").Add(d.SharedAttaches)
+	s.reg.Counter("exec.arrangements.freed").Add(d.Freed)
 	s.lastArr = st
+	return d
 }
 
 // New builds a scheduler over the graph with the given starting pace vector
@@ -265,6 +297,9 @@ func New(g *mqo.Graph, paces []int, src Source, cfg Config) (*Scheduler, error) 
 		s.subExecs[i] = s.reg.Counter(fmt.Sprintf("sched.subplan.%d.executions", i))
 		s.subWork[i] = s.reg.Counter(fmt.Sprintf("sched.subplan.%d.work", i))
 	}
+	s.prof = cfg.Profile
+	s.ev = cfg.Events
+	s.status = cfg.Status
 	s.epoch = s.clock.Now()
 	if tr := cfg.Tracer; tr != nil {
 		s.tr = tr
@@ -381,7 +416,11 @@ func (s *Scheduler) runGroup(group []pace.Firing) {
 	}
 	s.runner.ArriveWindow(group[0].Index, group[0].Pace)
 
-	works := s.execute(group)
+	var walls []int64
+	if s.prof != nil {
+		walls = make([]int64, len(group))
+	}
+	works := s.execute(group, walls)
 
 	lagHist := s.reg.Histogram("sched.exec_lag_ms", 1, 5, 10, 50, 100, 500, 1000, 5000)
 	execs := s.reg.Counter("sched.executions")
@@ -396,6 +435,13 @@ func (s *Scheduler) runGroup(group []pace.Firing) {
 			s.spent[f.Subplan] += d
 		}
 		w := works[i].Total()
+		if s.prof != nil {
+			// Attributed here — the canonical loop — not on the workers, so
+			// the profile's deterministic columns are worker-count-invariant.
+			// A group fires each subplan at most once, so LastBatches still
+			// describes this firing.
+			s.prof.Observe(f.Subplan, w, walls[i], s.runner.Execs[f.Subplan].LastBatches())
+		}
 		s.winWork += w
 		s.winExecs++
 		s.res.TotalWork += w
@@ -444,7 +490,10 @@ func (s *Scheduler) runGroup(group []pace.Firing) {
 // execute runs the group's subplans and returns their works, positionally
 // aligned with the group. Same-instant subplans at the same dependency
 // depth never feed each other, so each depth wave may fan out safely.
-func (s *Scheduler) execute(group []pace.Firing) []exec.Work {
+// A non-nil walls receives each execution's measured wall nanoseconds
+// (captured on the executing goroutine — the profiler's nondeterministic
+// rider column); nil skips the clock reads entirely.
+func (s *Scheduler) execute(group []pace.Firing, walls []int64) []exec.Work {
 	works := make([]exec.Work, len(group))
 	workers := s.cfg.Workers
 	if workers < 0 {
@@ -452,6 +501,12 @@ func (s *Scheduler) execute(group []pace.Firing) []exec.Work {
 	}
 	if workers <= 1 || len(group) == 1 {
 		for i, f := range group {
+			if walls != nil {
+				t0 := time.Now()
+				works[i] = s.runner.RunSubplan(f.Subplan)
+				walls[i] = time.Since(t0).Nanoseconds()
+				continue
+			}
 			works[i] = s.runner.RunSubplan(f.Subplan)
 		}
 		return works
@@ -478,6 +533,12 @@ func (s *Scheduler) execute(group []pace.Firing) []exec.Work {
 				// Label the worker so CPU profiles attribute samples to
 				// the subplan and the sched phase (pprof tag filtering).
 				pprof.Do(context.Background(), pprof.Labels("phase", "sched", "subplan", strconv.Itoa(group[i].Subplan)), func(context.Context) {
+					if walls != nil {
+						t0 := time.Now()
+						works[i] = s.runner.RunSubplan(group[i].Subplan)
+						walls[i] = time.Since(t0).Nanoseconds()
+						return
+					}
 					works[i] = s.runner.RunSubplan(group[i].Subplan)
 				})
 			}(i)
@@ -576,6 +637,43 @@ func (s *Scheduler) closeWindow() {
 			trace.Arg{Key: "max_lag", Value: s.maxLag},
 			trace.Arg{Key: "overloaded", Value: ws.Overloaded})
 	}
-	s.flushArrangeStats()
+	// Always-on gauges: the live complement of the counters above. Set in
+	// profiled and unprofiled runs alike, so enabling observability never
+	// changes a metrics snapshot (the observer-effect regression test pins
+	// this).
+	s.reg.Gauge("sched.window").Set(float64(s.window))
+	s.reg.Gauge("sched.live_queries").Set(float64(nq))
+	s.reg.Gauge("sched.last_max_lag_ms").Set(float64(s.maxLag) / float64(time.Millisecond))
+	_, alerts := s.prof.FlushWindow(s.window)
+	atNS := winEnd.Sub(s.epoch).Nanoseconds()
+	if s.ev.Enabled() {
+		for _, a := range alerts {
+			s.ev.Emit("drift.alert", atNS, a.Window, a.Subplan, -1, map[string]interface{}{
+				"drift": a.Drift, "modeled": a.Modeled, "work": a.Work,
+			})
+		}
+		if d := ws.Degraded; d != nil {
+			s.ev.Emit("sched.degrade", atNS, s.window, d.Subplan, -1, map[string]interface{}{
+				"old_pace": d.OldPace, "new_pace": d.NewPace,
+				"clamped": len(d.Clamped), "spent_ns": int64(d.Spent),
+			})
+		}
+	}
+	arr := s.flushArrangeStats()
+	if s.ev.Enabled() {
+		if arr.Built != 0 || arr.SharedAttaches != 0 || arr.Freed != 0 {
+			s.ev.Emit("arrangements", atNS, s.window, -1, -1, map[string]interface{}{
+				"built": arr.Built, "shared_attaches": arr.SharedAttaches, "freed": arr.Freed,
+			})
+		}
+		s.ev.Emit("window.close", atNS, s.window, -1, -1, map[string]interface{}{
+			"executions": s.winExecs, "work": s.winWork,
+			"met": ws.Met, "missed": ws.Missed,
+			"max_lag_ns": int64(s.maxLag), "overloaded": ws.Overloaded,
+		})
+	}
 	s.res.Windows = append(s.res.Windows, ws)
+	if s.status != nil {
+		s.status.Publish(s.buildStatus(ws))
+	}
 }

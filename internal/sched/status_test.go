@@ -1,0 +1,122 @@
+package sched_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ishare/internal/profile"
+	"ishare/internal/sched"
+)
+
+// TestStatusBoardPublishesEachWindow runs a profiled schedule with a status
+// board attached and checks the final published view: last window, full
+// query and subplan tables, and drift columns fed by the calibrated
+// profiler.
+func TestStatusBoardPublishesEachWindow(t *testing.T) {
+	tp := buildPlan(t, 5)
+	paces := randPaces(rand.New(rand.NewSource(5)), tp.graph, 6)
+	const windows = 3
+
+	matrix := calibrate(t, tp, paces, windows)
+	prof := profile.New(profile.Config{
+		Subplans: len(tp.graph.Subplans),
+		ModeledAt: func(window, subplan int) float64 {
+			return matrix[[2]int{window, subplan}]
+		},
+	})
+	board := &sched.StatusBoard{}
+	if _, ok := board.Current(); ok {
+		t.Fatal("fresh board reports a status")
+	}
+	runObserved(t, tp, paces, windows, obsOpts{prof: prof, status: board, workers: 4, noDegrade: true})
+
+	st, ok := board.Current()
+	if !ok {
+		t.Fatal("no status published after a full run")
+	}
+	if st.Window != windows-1 || st.Windows != windows {
+		t.Errorf("window = %d/%d, want %d/%d", st.Window, st.Windows, windows-1, windows)
+	}
+	if len(st.Queries) != tp.graph.Plan.NumQueries() {
+		t.Errorf("%d query rows, want %d", len(st.Queries), tp.graph.Plan.NumQueries())
+	}
+	if len(st.Subplans) != len(tp.graph.Subplans) || len(st.Paces) != len(tp.graph.Subplans) {
+		t.Errorf("%d subplan rows, %d paces, want %d", len(st.Subplans), len(st.Paces), len(tp.graph.Subplans))
+	}
+	if st.Met+st.Missed != windows*tp.graph.Plan.NumQueries() {
+		t.Errorf("met %d + missed %d != %d deadline outcomes", st.Met, st.Missed, windows*tp.graph.Plan.NumQueries())
+	}
+	sawWork := false
+	for _, sub := range st.Subplans {
+		if sub.Pace != paces[sub.ID] {
+			t.Errorf("subplan %d pace %d, want %d", sub.ID, sub.Pace, paces[sub.ID])
+		}
+		if sub.Work > 0 {
+			sawWork = true
+			// Calibrated baseline: any fired subplan's drift sits at 1.
+			if sub.Drift < 0.999 || sub.Drift > 1.001 {
+				t.Errorf("subplan %d drift = %v, want 1 on a calibrated run", sub.ID, sub.Drift)
+			}
+		}
+	}
+	if !sawWork {
+		t.Error("no subplan reported cumulative work")
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	board := &sched.StatusBoard{}
+	srv := httptest.NewServer(sched.StatusHandler(board))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty board: status %d, want 503", resp.StatusCode)
+	}
+
+	board.Publish(sched.Status{Window: 2, Windows: 5, Met: 9, Missed: 1})
+	resp, err = http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("published board: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var st sched.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Window != 2 || st.Windows != 5 || st.Met != 9 || st.Missed != 1 {
+		t.Errorf("round-tripped status = %+v", st)
+	}
+
+	resp, err = http.Post(srv.URL+"/statusz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/elsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"ishare/internal/eventlog"
 	"ishare/internal/oracle"
+	"ishare/internal/profile"
 	"ishare/internal/sched"
 	"ishare/internal/trace"
 )
@@ -124,9 +126,10 @@ func TestGoldenChromeTrace(t *testing.T) {
 }
 
 // TestTracingDoesNotChangeResults is the observer-effect check: the same
-// seeded run with the tracer on and off must produce byte-identical result
-// summaries and metrics snapshots, and the traced run's query results must
-// still match the oracle.
+// seeded run with the tracer on and off — and with the full observability
+// stack (profiler, event log, status board) attached — must produce
+// byte-identical result summaries and metrics snapshots, and the observed
+// runs' query results must still match the oracle.
 func TestTracingDoesNotChangeResults(t *testing.T) {
 	tp := buildPlan(t, 9)
 	paces := randPaces(rand.New(rand.NewSource(9)), tp.graph, 6)
@@ -141,6 +144,23 @@ func TestTracingDoesNotChangeResults(t *testing.T) {
 			got := oracle.Canon(s.Results(q))
 			if !eqStrings(got, want) {
 				t.Errorf("workers=%d: traced run query %d results = %v, want %v", workers, q, got, want)
+			}
+		}
+
+		// Profiling, event logging, and status publication ride the same
+		// canonical accounting loop and must be equally invisible.
+		so, observed := runObserved(t, tp, paces, 2, obsOpts{
+			prof:    profile.New(profile.Config{Subplans: len(tp.graph.Subplans)}),
+			ev:      eventlog.New(nil, 0),
+			status:  &sched.StatusBoard{},
+			workers: workers,
+		})
+		if !bytes.Equal(plain, observed) {
+			t.Errorf("workers=%d: observability changed the run:\nplain:\n%s\n--- vs observed ---\n%s", workers, plain, observed)
+		}
+		for q, want := range tp.want {
+			if got := oracle.Canon(so.Results(q)); !eqStrings(got, want) {
+				t.Errorf("workers=%d: observed run query %d results = %v, want %v", workers, q, got, want)
 			}
 		}
 	}

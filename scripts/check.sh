@@ -44,14 +44,41 @@ go run ./cmd/ishare -experiment sched -sf 0.02 -trace "$TRACE_OUT" >/dev/null
 go run ./cmd/tracecheck "$TRACE_OUT"
 rm -f "$TRACE_OUT"
 
+echo "== event-log smoke (-experiment sched -events)"
+EVENTS_OUT="$(mktemp /tmp/ishare-events.XXXXXX.jsonl)"
+go run ./cmd/ishare -experiment sched -sf 0.02 -events "$EVENTS_OUT" >/dev/null
+go run ./cmd/eventcheck -types window.close "$EVENTS_OUT"
+rm -f "$EVENTS_OUT"
+
+# Status smoke: serve the run's metrics (JSON and Prometheus text) and the
+# live statusz view, and require all three endpoints to answer once the run
+# has finished (the process keeps serving after the last window closes).
+echo "== status smoke (-serve-metrics/-serve-status)"
+go run ./cmd/ishare -experiment sched -sf 0.02 \
+	-serve-metrics 127.0.0.1:19090 -serve-status 127.0.0.1:19091 >/dev/null 2>&1 &
+ISHARE_PID=$!
+STATUS_OK=
+for _ in $(seq 1 60); do
+	if curl -fsS 127.0.0.1:19091/statusz >/dev/null 2>&1; then
+		STATUS_OK=1
+		break
+	fi
+	sleep 1
+done
+[ -n "$STATUS_OK" ] || { echo "statusz never came up" >&2; kill "$ISHARE_PID"; exit 1; }
+curl -fsS 127.0.0.1:19090/metrics | head -c 1 | grep -q '{'
+curl -fsS 127.0.0.1:19090/prometheus | grep -q '^# TYPE '
+curl -fsS 127.0.0.1:19091/statusz | grep -q '"window"'
+kill "$ISHARE_PID"
+
 # Informational benchmark diff: when both the frozen baseline and a current
 # bench-json report exist, print the per-benchmark deltas. Never fails the
 # gate — CI-runner noise is too high for a hard perf gate.
-if [ -f BENCH_PR7.json ] && [ -f BENCH_PR8.json ]; then
+if [ -f BENCH_PR8.json ] && [ -f BENCH_PR9.json ]; then
 	echo "== bench-diff (informational)"
-	go run ./cmd/benchdiff BENCH_PR7.json BENCH_PR8.json || true
+	go run ./cmd/benchdiff BENCH_PR8.json BENCH_PR9.json || true
 else
-	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR8.json)"
+	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR9.json)"
 fi
 
 if [ "${SKIP_FUZZ:-}" != "1" ]; then

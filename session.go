@@ -2,10 +2,12 @@ package ishare
 
 import (
 	"fmt"
+	"time"
 
 	"ishare/internal/exec"
 	"ishare/internal/opt"
 	"ishare/internal/plan"
+	"ishare/internal/profile"
 )
 
 // Session serves a shared plan online: windows of data arrive one Step at a
@@ -25,6 +27,7 @@ type Session struct {
 	engine  *Engine
 	live    *opt.Live
 	runner  *exec.Runner
+	prof    *profile.Profiler
 	names   []string     // slot-indexed; "" = inactive
 	queries []plan.Query // slot-indexed; zero value = inactive
 	windows int
@@ -97,12 +100,32 @@ func (e *Engine) StartSession(o Options) (*Session, error) {
 		return nil, err
 	}
 	return &Session{
-		engine:  e,
-		live:    live,
-		runner:  runner,
+		engine: e,
+		live:   live,
+		runner: runner,
+		prof: profile.New(profile.Config{
+			Subplans: len(live.Graph.Subplans),
+			Modeled:  batchBaseline(live),
+		}),
 		names:   append([]string(nil), e.names...),
 		queries: append([]plan.Query(nil), e.queries...),
 	}, nil
+}
+
+// batchBaseline evaluates the cost model at batch pace (one execution per
+// subplan per window — exactly how Step drives the plan) and returns the
+// per-subplan modeled work per window, the session profiler's drift
+// baseline. nil when the model cannot evaluate (drift then stays 0).
+func batchBaseline(live *opt.Live) []float64 {
+	ones := make([]int, len(live.Graph.Subplans))
+	for i := range ones {
+		ones[i] = 1
+	}
+	ev, err := live.Model.Evaluate(ones)
+	if err != nil {
+		return nil
+	}
+	return ev.SubTotal
 }
 
 // Slot returns the slot serving the named query, or -1.
@@ -157,6 +180,7 @@ func (s *Session) Admit(name, sql string, relConstraint float64) (*AdmitStats, e
 		s.live.Retire(slot)
 		return nil, err
 	}
+	s.prof.Graft(len(s.live.Graph.Subplans), batchBaseline(s.live))
 	for slot >= len(s.names) {
 		s.names = append(s.names, "")
 		s.queries = append(s.queries, plan.Query{})
@@ -182,6 +206,7 @@ func (s *Session) Retire(name string) (*AdmitStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.prof.Graft(len(s.live.Graph.Subplans), batchBaseline(s.live))
 	s.names[slot] = ""
 	s.queries[slot] = plan.Query{}
 	return admitStats(rep, gs), nil
@@ -213,8 +238,12 @@ func (s *Session) Step(data map[string][]Row) (int64, error) {
 	s.runner.ArriveWindow(1, 1)
 	var work int64
 	for id := 0; id < len(s.live.Graph.Subplans); id++ {
-		work += s.runner.RunSubplan(id).Total()
+		t0 := time.Now()
+		w := s.runner.RunSubplan(id).Total()
+		s.prof.Observe(id, w, time.Since(t0).Nanoseconds(), s.runner.Execs[id].LastBatches())
+		work += w
 	}
+	s.prof.FlushWindow(s.windows)
 	s.windows++
 	s.work += work
 	return work, nil
@@ -234,6 +263,51 @@ func (s *Session) SearchSims() int64 { return s.live.Model.Sims }
 
 // Paces returns the current revision's pace vector.
 func (s *Session) Paces() []int { return append([]int(nil), s.live.Paces...) }
+
+// DriftSample is one subplan's execution profile for one stepped window:
+// the cost model's predicted work at batch pace against the work the window
+// actually cost, plus physical detail (measured wall time, vectorized batch
+// count) and the subplan's observed/modeled drift EWMA after the window.
+type DriftSample struct {
+	Window  int
+	Subplan int
+	// Modeled is the cost model's per-window work prediction (0 when the
+	// model could not evaluate).
+	Modeled float64
+	// Work is the window's observed work units.
+	Work int64
+	// WallNS is the window's measured execution wall time in nanoseconds.
+	WallNS int64
+	// Batches counts the vectorized chunks the window processed.
+	Batches int64
+	// Drift is the observed/modeled EWMA after this window.
+	Drift float64
+}
+
+// Profile returns the retained per-subplan per-window execution profiles in
+// chronological order — the session's closed-loop view of how far reality
+// has drifted from the cost model that chose its pace vector.
+func (s *Session) Profile() []DriftSample {
+	samples := s.prof.Samples()
+	out := make([]DriftSample, len(samples))
+	for i, sm := range samples {
+		out[i] = DriftSample{
+			Window:  sm.Window,
+			Subplan: sm.Subplan,
+			Modeled: sm.Modeled,
+			Work:    sm.Work,
+			WallNS:  sm.WallNS,
+			Batches: sm.Batches,
+			Drift:   sm.Drift,
+		}
+	}
+	return out
+}
+
+// Drift returns each subplan's current observed/modeled work EWMA: 1 means
+// the cost model predicts this subplan perfectly, above 1 it underestimates,
+// 0 means no observation yet.
+func (s *Session) Drift() []float64 { return s.prof.Drifts() }
 
 // Results returns the named query's materialized result rows over all data
 // stepped so far.
