@@ -72,6 +72,7 @@ func parseArgs(args []string) (*options, error) {
 		rel          = fs.Float64("rel", 0.5, "uniform relative final-work constraint for -explain")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 		churn        = fs.Bool("churn", false, "instead of an experiment, run the online-admission demo: admit and retire queries on a live shared plan")
+		recalibrate  = fs.Bool("recalibrate", false, "close the cost loop in scheduler-backed experiments: fold persistent drift back into the cost model and re-search paces warm-started from the live memo (implies profiling)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -81,6 +82,7 @@ func parseArgs(args []string) (*options, error) {
 		Config: experiments.Config{
 			SF: *sf, Seed: *seed, MaxPace: *maxPace,
 			DNFBudget: *budget, OptWorkers: *optWorkers,
+			Recalibrate: *recalibrate,
 		},
 		DOT:          *dot,
 		ServeMetrics: *serveMetrics,

@@ -129,6 +129,53 @@ func CalibrationFromRun(m *Model, paces []int, measuredWork, measuredFinal, meas
 	return calib, nil
 }
 
+// CalibrateFromProfile folds per-subplan observed/modeled drift EWMAs (the
+// profiler's closed-loop measurement, indexed by subplan id; entries ≤ 0
+// mean "unobserved" and keep the existing factors) into the model's
+// calibration: a subplan observed running drift× its calibrated estimate has
+// its Work and Final factors scaled by that same ratio. Per-factor clamping
+// to [1/8, 8] keeps one bad stretch of windows from destabilizing the next
+// search, and Final factors never drop below 1 — CalibrationFromRun's
+// pessimism rule: final work is the latency proxy, and an optimistic
+// correction can silently relax a non-incrementable subplan into missing its
+// deadline. Out factors are never touched: drift measures work, not
+// cardinality, so every subplan's output profile is identical under the old
+// and new calibration — which is exactly what lets a warm re-search adopt
+// the memo entries of undrifted subplans across the swap (see AdoptMemo).
+func CalibrateFromProfile(m *Model, drifts []float64) (Calibration, error) {
+	g := m.Graph
+	if len(drifts) != len(g.Subplans) {
+		return nil, fmt.Errorf("cost: %d drifts for %d subplans", len(drifts), len(g.Subplans))
+	}
+	const maxFactor = 8.0
+	calib := make(Calibration, len(g.Subplans))
+	for sig, f := range m.Calibration() {
+		calib[sig] = f
+	}
+	for _, s := range g.Subplans {
+		d := drifts[s.ID]
+		if d <= 0 || d == 1 {
+			continue
+		}
+		sig := s.Root.BaseSignature()
+		f := calib[sig]
+		work, final := f.Work, f.Final
+		if work <= 0 {
+			work = 1
+		}
+		if final <= 0 {
+			final = 1
+		}
+		f.Work = clampFactor(work*d, maxFactor)
+		f.Final = clampFactor(final*d, maxFactor)
+		if f.Final < 1 {
+			f.Final = 1
+		}
+		calib[sig] = f
+	}
+	return calib, nil
+}
+
 func clampFactor(f, max float64) float64 {
 	if f > max {
 		return max

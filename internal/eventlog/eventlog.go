@@ -46,6 +46,23 @@ type Event struct {
 	Attrs map[string]interface{} `json:"attrs,omitempty"`
 }
 
+// KnownTypes is the registry of every event type the engine emits. Validate
+// rejects streams carrying any other type, so a new emitter must register
+// its type here — which is what keeps cmd/eventcheck an actual schema check
+// rather than a JSONL well-formedness check.
+var KnownTypes = map[string]bool{
+	"window.close":     true, // scheduler window settled (sched)
+	"sched.degrade":    true, // overload degradation decision (sched)
+	"drift.alert":      true, // observed/modeled drift EWMA out of band (sched)
+	"graft":            true, // live plan revision swap (sched)
+	"admit":            true, // query admission (session layer, via graft)
+	"retire":           true, // query retirement (session layer, via graft)
+	"arrangements":     true, // arrangement lifecycle deltas (sched)
+	"cost.recalibrate": true, // drift folded back into the cost model (sched)
+	"pace.research":    true, // warm-started pace re-search after recalibration (sched)
+	"reuse.skip":       true, // clean-cone firings skippable this window (sched)
+}
+
 // Log collects events. Construct with New; a nil *Log is disabled.
 type Log struct {
 	mu   sync.Mutex
@@ -151,8 +168,9 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 
 // Validate checks a JSONL stream against the event schema: every line must
 // be a JSON object with the Event fields, sequence numbers must be dense
-// and ascending from the first line's, and every event must carry a
-// non-empty type. It returns the number of events and the per-type counts.
+// and ascending from the first line's, and every event must carry a type
+// from the KnownTypes registry. It returns the number of events and the
+// per-type counts.
 func Validate(r io.Reader) (int, map[string]int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -172,6 +190,9 @@ func Validate(r io.Reader) (int, map[string]int, error) {
 		}
 		if e.Type == "" {
 			return n, byType, fmt.Errorf("line %d: empty event type", n+1)
+		}
+		if !KnownTypes[e.Type] {
+			return n, byType, fmt.Errorf("line %d: unknown event type %q", n+1, e.Type)
 		}
 		if wantSeq == -1 {
 			wantSeq = e.Seq

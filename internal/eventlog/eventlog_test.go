@@ -92,8 +92,9 @@ func TestValidateRejectsBadStreams(t *testing.T) {
 		{"not json", "hello\n"},
 		{"unknown field", `{"seq":0,"at_ns":1,"type":"x","window":0,"subplan":-1,"query":-1,"bogus":1}` + "\n"},
 		{"empty type", `{"seq":0,"at_ns":1,"type":"","window":0,"subplan":-1,"query":-1}` + "\n"},
-		{"gap in seq", `{"seq":0,"at_ns":1,"type":"a","window":0,"subplan":-1,"query":-1}` + "\n" +
-			`{"seq":2,"at_ns":2,"type":"a","window":1,"subplan":-1,"query":-1}` + "\n"},
+		{"gap in seq", `{"seq":0,"at_ns":1,"type":"window.close","window":0,"subplan":-1,"query":-1}` + "\n" +
+			`{"seq":2,"at_ns":2,"type":"window.close","window":1,"subplan":-1,"query":-1}` + "\n"},
+		{"unregistered type", `{"seq":0,"at_ns":1,"type":"window.implode","window":0,"subplan":-1,"query":-1}` + "\n"},
 	}
 	for _, tc := range cases {
 		if _, _, err := Validate(strings.NewReader(tc.input)); err == nil {
@@ -102,8 +103,8 @@ func TestValidateRejectsBadStreams(t *testing.T) {
 	}
 	// Sequence may start anywhere, as long as it stays dense (the bounded
 	// ring may have evicted a prefix before WriteJSONL).
-	ok := `{"seq":7,"at_ns":1,"type":"a","window":0,"subplan":-1,"query":-1}` + "\n" +
-		`{"seq":8,"at_ns":2,"type":"a","window":1,"subplan":-1,"query":-1}` + "\n"
+	ok := `{"seq":7,"at_ns":1,"type":"window.close","window":0,"subplan":-1,"query":-1}` + "\n" +
+		`{"seq":8,"at_ns":2,"type":"reuse.skip","window":1,"subplan":-1,"query":-1}` + "\n"
 	if _, _, err := Validate(strings.NewReader(ok)); err != nil {
 		t.Errorf("offset-start stream rejected: %v", err)
 	}

@@ -208,6 +208,10 @@ func (r *Runner) Graft(newG *mqo.Graph, opts GraftOptions) (*GraftStats, error) 
 
 	r.Execs = newExecs
 	r.Graph = newG
+	// Scan cones follow the new graph; skipping stays disabled until the
+	// next window boundary recomputes dirtiness (see reuse.go).
+	r.computeLineage()
+	r.winClean = make([]bool, len(newG.Subplans))
 	return stats, nil
 }
 

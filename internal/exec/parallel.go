@@ -95,7 +95,7 @@ func (r *Runner) RunParallel(paces []int, workers int) (*Report, error) {
 
 func runWave(r *Runner, subs []int, workers int) {
 	if len(subs) == 1 {
-		r.CountWork(r.Execs[subs[0]].RunOnce())
+		r.CountWork(r.runOnce(subs[0]))
 		return
 	}
 	sem := make(chan struct{}, workers)
@@ -109,7 +109,7 @@ func runWave(r *Runner, subs []int, workers int) {
 			// Label the worker so CPU profiles attribute samples to the
 			// subplan being executed (pprof tag filtering).
 			pprof.Do(context.Background(), pprof.Labels("phase", "exec", "subplan", strconv.Itoa(id)), func(context.Context) {
-				r.CountWork(r.Execs[id].RunOnce())
+				r.CountWork(r.runOnce(id))
 			})
 		}(id)
 	}

@@ -63,6 +63,16 @@ type Runner struct {
 	// reg is the arrangement registry every stateful operator of this
 	// runner attaches its indexed state to (see arrange.go).
 	reg *Registry
+
+	// Window-level result reuse (see reuse.go): lineage holds each
+	// subplan's scan cone, winClean the per-window clean flags, reuse the
+	// gate knob; the counters are atomic because wave-parallel firings hit
+	// the gate concurrently.
+	lineage        [][]string
+	winClean       []bool
+	reuse          bool
+	reuseSkippable int64
+	reuseSkipped   int64
 }
 
 // NewRunner builds fresh operator state, buffers and table logs for an
@@ -120,6 +130,7 @@ func newDeltaRunner(g *mqo.Graph, data DeltaDataset, batch int, share bool) (*Ru
 		windowBase: make(map[string]int),
 		batch:      batch,
 		reg:        NewRegistry(share),
+		reuse:      ReuseFromEnv(),
 	}
 	// A non-empty construction dataset is the first (implicit) window: if
 	// the plan is later grafted, that history must be replayable.
@@ -146,6 +157,8 @@ func newDeltaRunner(g *mqo.Graph, data DeltaDataset, batch int, share bool) (*Ru
 		}
 		r.Execs[s.ID] = se
 	}
+	r.computeLineage()
+	r.computeWinClean() // the construction dataset is the implicit first window
 	return r, nil
 }
 
@@ -226,11 +239,11 @@ func (r *Runner) Run(paces []int) (*Report, error) {
 	for _, e := range events {
 		r.arriveUpTo(e.j, e.p)
 		if tr == nil {
-			r.Execs[e.sub].RunOnce()
+			r.runOnce(e.sub)
 			continue
 		}
 		runStart := tr.Since()
-		w := r.Execs[e.sub].RunOnce()
+		w := r.runOnce(e.sub)
 		tr.Span(pid, 1+e.sub, "exec", fmt.Sprintf("run %d/%d", e.j, e.p), runStart, tr.Since(),
 			trace.Arg{Key: "tuples", Value: w.Tuples},
 			trace.Arg{Key: "output", Value: w.Output},
@@ -319,6 +332,7 @@ func (r *Runner) StartWindow(arrivals DeltaDataset) {
 	for name, ts := range arrivals {
 		r.Data[name] = append(r.Data[name], ts...)
 	}
+	r.computeWinClean()
 }
 
 // sealWindow closes the current window for graft bookkeeping: it records
@@ -356,7 +370,7 @@ func (r *Runner) ArriveWindow(j, p int) { r.arriveUpTo(j, p) }
 // charges against its clock. It stays a single inlinable expression: callers
 // that want the execution published to the tracer's counters pass the work
 // to CountWork from their own (sequential) accounting path.
-func (r *Runner) RunSubplan(id int) Work { return r.Execs[id].RunOnce() }
+func (r *Runner) RunSubplan(id int) Work { return r.runOnce(id) }
 
 // traceProcess registers the runner's tracer process and per-subplan thread
 // tracks (tid 1+id) and returns the pid; zero with no tracer.

@@ -52,6 +52,11 @@ type Config struct {
 	// Profile enables per-subplan drift profiling in scheduler-backed
 	// experiments, baselined on each job's cost-model evaluation.
 	Profile bool
+	// Recalibrate closes the cost loop in scheduler-backed experiments:
+	// when a drift alert persists, observed work is folded back into each
+	// job's cost model and the pace vector is re-searched warm-started from
+	// the live memo. Implies Profile (the loop triggers off drift alerts).
+	Recalibrate bool
 }
 
 // withDefaults fills unset fields.

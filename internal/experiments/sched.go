@@ -40,6 +40,9 @@ type SchedRow struct {
 	Met, Missed int
 	// Decisions counts degradation steps the runtime took.
 	Decisions int
+	// Recalibrations counts closed-loop cost recalibrations (drift folded
+	// into the model, paces re-searched warm).
+	Recalibrations int
 	// Coarsened counts subplans whose final pace ended below its planned
 	// pace.
 	Coarsened int
@@ -99,7 +102,7 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 				deadlines[local] = time.Duration(goal / workRate * float64(time.Second))
 			}
 			var prof *profile.Profiler
-			if cfg.Profile && job.Model != nil {
+			if (cfg.Profile || cfg.Recalibrate) && job.Model != nil {
 				// Baseline each subplan on the cost model's per-window
 				// prediction under the scheduled pace vector — the same
 				// evaluation that chose the paces, so drift means "reality
@@ -111,18 +114,32 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 					})
 				}
 			}
+			var recal *sched.RecalibratePolicy
+			if cfg.Recalibrate && prof != nil {
+				jobCons := make([]float64, len(job.QueryIDs))
+				for local, global := range job.QueryIDs {
+					jobCons[local] = abs[global]
+				}
+				recal = &sched.RecalibratePolicy{
+					Model:       job.Model,
+					Constraints: jobCons,
+					MaxPace:     cfg.MaxPace,
+					Workers:     w.OptWorkers,
+				}
+			}
 			s, err := sched.New(job.Graph, job.Paces, sched.Slices{Data: data, N: windows}, sched.Config{
-				Window:    window,
-				Windows:   windows,
-				Clock:     sched.NewVirtualClock(time.Unix(0, 0)),
-				WorkRate:  workRate,
-				Deadlines: deadlines,
-				Metrics:   reg,
-				Tracer:    cfg.Tracer,
-				TraceName: fmt.Sprintf("%s job %d", a, ji),
-				Profile:   prof,
-				Events:    cfg.Events,
-				Status:    cfg.Status,
+				Window:      window,
+				Windows:     windows,
+				Clock:       sched.NewVirtualClock(time.Unix(0, 0)),
+				WorkRate:    workRate,
+				Deadlines:   deadlines,
+				Metrics:     reg,
+				Tracer:      cfg.Tracer,
+				TraceName:   fmt.Sprintf("%s job %d", a, ji),
+				Profile:     prof,
+				Events:      cfg.Events,
+				Status:      cfg.Status,
+				Recalibrate: recal,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", a, err)
@@ -135,6 +152,7 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 			row.Met += r.Met
 			row.Missed += r.Missed
 			row.Decisions += len(r.Decisions)
+			row.Recalibrations += len(r.Recalibrations)
 			for i, fp := range r.FinalPaces {
 				if fp < job.Paces[i] {
 					row.Coarsened++
@@ -150,10 +168,10 @@ func SchedulerLatency(cfg Config, reg *metrics.Registry) (*SchedResult, error) {
 func (r *SchedResult) Report(out io.Writer) {
 	fprintf(out, "Scheduler-backed latency experiment: queries %v, rel %v\n", r.Names, r.Rel)
 	fprintf(out, "window %s × %d, modeled work rate %.0f units/s\n", r.Window, r.Windows, r.WorkRate)
-	fprintf(out, "%-20s %12s %6s %6s %10s %10s %12s\n",
-		"approach", "total work", "met", "miss", "degrades", "coarsened", "opt time")
+	fprintf(out, "%-20s %12s %6s %6s %10s %8s %10s %12s\n",
+		"approach", "total work", "met", "miss", "degrades", "recals", "coarsened", "opt time")
 	for _, row := range r.Rows {
-		fprintf(out, "%-20s %12d %6d %6d %10d %10d %12s\n",
-			row.Approach, row.TotalWork, row.Met, row.Missed, row.Decisions, row.Coarsened, row.OptTime)
+		fprintf(out, "%-20s %12d %6d %6d %10d %8d %10d %12s\n",
+			row.Approach, row.TotalWork, row.Met, row.Missed, row.Decisions, row.Recalibrations, row.Coarsened, row.OptTime)
 	}
 }

@@ -24,11 +24,16 @@ import (
 // ingest. Sharing is purely physical, so toggling it mid-churn must change
 // nothing observable; each toggle boundary also re-checks the registry
 // refcount invariant.
+// ToggleReuse does the same for window-level result reuse: clean-cone
+// skipping charges the modeled work a firing would have cost, so flipping
+// it at any boundary must leave every result and the final work report
+// untouched.
 type ChurnPlan struct {
 	Windows     int
 	Admit       []int
 	Retire      []int
 	ToggleShare []int
+	ToggleReuse []int
 }
 
 // activeIn reports whether query q is being served during window k.
@@ -54,6 +59,11 @@ func (cp *ChurnPlan) validate(nq int) error {
 	for _, k := range cp.ToggleShare {
 		if k < 1 || k >= cp.Windows {
 			return fmt.Errorf("churn: sharing toggle at window %d of %d", k, cp.Windows)
+		}
+	}
+	for _, k := range cp.ToggleReuse {
+		if k < 1 || k >= cp.Windows {
+			return fmt.Errorf("churn: reuse toggle at window %d of %d", k, cp.Windows)
 		}
 	}
 	for k := 0; k < cp.Windows; k++ {
@@ -196,7 +206,7 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 		leak := func(k int, when string) *Mismatch {
 			if err := runner.CheckArrangements(); err != nil {
 				return &Mismatch{
-					Config: fmt.Sprintf("churn/%s/window=%d/%s/toggle=%v", mode, k, when, cp.ToggleShare),
+					Config: fmt.Sprintf("churn/%s/window=%d/%s/toggle=%v/reuseToggle=%v", mode, k, when, cp.ToggleShare, cp.ToggleReuse),
 					Query:  -1,
 					SQL:    "arrangement refcount invariant",
 					Got:    []string{err.Error()},
@@ -210,14 +220,26 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 		for _, tk := range cp.ToggleShare {
 			toggles[tk]++
 		}
+		reuse := exec.ReuseFromEnv()
+		reuseToggles := make(map[int]int, len(cp.ToggleReuse))
+		for _, tk := range cp.ToggleReuse {
+			reuseToggles[tk]++
+		}
 		for k := 0; k < W; k++ {
-			// Sharing toggles apply at the boundary, before the graft, so a
-			// revision's fresh executors attach under the flipped mode.
+			// Sharing and reuse toggles apply at the boundary, before the
+			// graft, so a revision's fresh executors attach under the
+			// flipped mode.
 			if n := toggles[k]; n > 0 {
 				if n%2 == 1 {
 					share = !share
 				}
 				runner.SetShareArrangements(share)
+			}
+			if n := reuseToggles[k]; n > 0 {
+				if n%2 == 1 {
+					reuse = !reuse
+				}
+				runner.SetReuse(reuse)
 			}
 			if k > 0 && events[k] {
 				ng, err := build(layouts[k])
@@ -245,7 +267,7 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 				wantQ := Canon(Eval(queries[q].Root, tables, nil))
 				if !eqStrings(got, wantQ) {
 					return &Mismatch{
-						Config: fmt.Sprintf("churn/%s/window=%d/admit=%v/retire=%v/toggle=%v", mode, k, cp.Admit, cp.Retire, cp.ToggleShare),
+						Config: fmt.Sprintf("churn/%s/window=%d/admit=%v/retire=%v/toggle=%v/reuseToggle=%v", mode, k, cp.Admit, cp.Retire, cp.ToggleShare, cp.ToggleReuse),
 						Query:  q, SQL: w.SQL[q], Got: got, Want: wantQ,
 					}, nil
 				}
@@ -253,7 +275,7 @@ func checkChurn(w *Workload, queries []plan.Query, data exec.DeltaDataset) (*Mis
 		}
 		if diff := reportDiff(refReport, runner.ReportNow()); diff != "" {
 			return &Mismatch{
-				Config: fmt.Sprintf("churn/%s/admit=%v/retire=%v/toggle=%v", mode, cp.Admit, cp.Retire, cp.ToggleShare),
+				Config: fmt.Sprintf("churn/%s/admit=%v/retire=%v/toggle=%v/reuseToggle=%v", mode, cp.Admit, cp.Retire, cp.ToggleShare, cp.ToggleReuse),
 				Query:  -1,
 				SQL:    "modeled work must match a from-scratch run of the final plan",
 				Got:    []string{diff},

@@ -28,11 +28,20 @@ type Options struct {
 	// everything else, so the same seed yields identical tables, streams
 	// and SQL with the flag on or off.
 	Churn bool
+	// Adversarial reshapes the generated streams after base generation:
+	// per table it may go nearly silent (bursty-quiet — idle scan cones,
+	// the window-reuse fast path), double in volume (bursty-hot, skewed
+	// arrival rates across tables), or drift mid-stream (the tail is
+	// regenerated with every Int — join keys included — shifted, so the
+	// value distribution the cost model calibrated on stops holding).
+	// The mutation draws from a rand forked off the seed, so the base
+	// workload for a given seed is identical with the flag off.
+	Adversarial bool
 }
 
 // DefaultOptions returns the harness defaults.
 func DefaultOptions() Options {
-	return Options{MaxTables: 3, MaxQueries: 4, MinDeltas: 6, MaxDeltas: 42}
+	return Options{MaxTables: 3, MaxQueries: 4, MinDeltas: 6, MaxDeltas: 42, Adversarial: true}
 }
 
 // TableDef is one generated table schema.
@@ -167,7 +176,97 @@ func Generate(seed int64, opts Options) *Workload {
 	if opts.Churn && len(w.SQL) > 1 {
 		w.Churn = genChurn(r, len(w.SQL))
 	}
+	if opts.Adversarial {
+		mutateAdversarial(rand.New(rand.NewSource(seed^adversarialSalt)), w)
+	}
 	return w
+}
+
+// adversarialSalt forks the adversarial mutation's randomness off the
+// workload seed, keeping the base generation seed-stable under the flag.
+const adversarialSalt = 0x3779b97f4a7c15
+
+// mutateAdversarial reshapes each table's stream into one of the arrival
+// patterns the uniform generator never produces: near-silence, a burst of
+// extra volume, or a mid-stream distribution shift. Every rewrite goes
+// through repairStream/extendStream, so the streams stay prefix-consistent.
+func mutateAdversarial(r *rand.Rand, w *Workload) {
+	for _, td := range w.Tables {
+		stream := w.Streams[td.Name]
+		switch r.Intn(4) {
+		case 0:
+			// Bursty-quiet: the table all but stops arriving. Subplans
+			// scanning only quiet tables have provably clean cones — the
+			// window-reuse fast path.
+			keep := r.Intn(3)
+			if keep > len(stream) {
+				keep = len(stream)
+			}
+			w.Streams[td.Name] = repairStream(append([]delta.Tuple(nil), stream[:keep]...))
+		case 1:
+			// Bursty-hot: the table arrives at a multiple of its generated
+			// rate, skewing volume across tables.
+			w.Streams[td.Name] = extendStream(r, td, stream, len(stream)*2+4, 0)
+		case 2:
+			// Mid-stream drift: at a random cut the value distribution
+			// shifts — the regenerated tail offsets every Int, join keys
+			// included, so calibrations taken on the head stop holding.
+			cut := len(stream) * (1 + r.Intn(3)) / 4
+			head := repairStream(append([]delta.Tuple(nil), stream[:cut]...))
+			target := len(stream) + 2
+			if target < len(head)+3 {
+				target = len(head) + 3
+			}
+			w.Streams[td.Name] = extendStream(r, td, head, target, 5+r.Intn(5))
+		}
+	}
+}
+
+// extendStream appends random prefix-consistent deltas until the stream
+// reaches target length. shift offsets every generated Int (join keys
+// included), modeling a value-distribution drift relative to the base
+// stream.
+func extendStream(r *rand.Rand, td TableDef, stream []delta.Tuple, target, shift int) []delta.Tuple {
+	out := append([]delta.Tuple(nil), stream...)
+	var live []value.Row
+	for _, t := range out {
+		if t.Sign == delta.Delete {
+			k := value.Key(t.Row)
+			for i := range live {
+				if value.Key(live[i]) == k {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		} else {
+			live = append(live, t.Row)
+		}
+	}
+	for len(out) < target {
+		if len(live) > 0 && r.Float64() < 0.3 {
+			i := r.Intn(len(live))
+			out = append(out, Del(live[i]...))
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			row := genRowShifted(r, td, shift)
+			out = append(out, Ins(row...))
+			live = append(live, row)
+		}
+	}
+	return out
+}
+
+// genRowShifted is genRow with every Int value offset by shift.
+func genRowShifted(r *rand.Rand, td TableDef, shift int) value.Row {
+	row := make(value.Row, len(td.Cols))
+	for i, col := range td.Cols {
+		v := genValue(r, col.Type, i == 0)
+		if shift != 0 && v.K == value.KindInt {
+			v = value.Int(v.I + int64(shift))
+		}
+		row[i] = v
+	}
+	return row
 }
 
 // genChurn draws a random admission/retirement schedule. Query 0 anchors the
@@ -194,6 +293,14 @@ func genChurn(r *rand.Rand, nq int) *ChurnPlan {
 		n := 1 + r.Intn(2)
 		for i := 0; i < n; i++ {
 			cp.ToggleShare = append(cp.ToggleShare, 1+r.Intn(cp.Windows-1))
+		}
+	}
+	// Window-reuse toggles, drawn after the sharing toggles for the same
+	// seed-stability reason.
+	if r.Float64() < 0.5 {
+		n := 1 + r.Intn(2)
+		for i := 0; i < n; i++ {
+			cp.ToggleReuse = append(cp.ToggleReuse, 1+r.Intn(cp.Windows-1))
 		}
 	}
 	return cp

@@ -43,6 +43,17 @@ type CheckOptions struct {
 	// a physical optimization that may never leak into results or the cost
 	// model; the refcount invariant is checked on every runner.
 	Arrangements bool
+	// Reuse adds a window-reuse invariance pass: the shared plan and (with
+	// Decompose) the fully unshared decomposition are driven over a windowed
+	// split of the stream with clean-cone result reuse explicitly on and
+	// off, and the runs must produce identical query results, an identical
+	// modeled-work report, and an identical skippable-firing count (the
+	// knob-independent half of the reuse counters). Skipping a clean-cone
+	// firing is a physical optimization that may never leak into results or
+	// the cost model. Adversarially generated workloads make this pass
+	// bite: bursty-quiet tables give whole subplan cones provably clean
+	// windows.
+	Reuse bool
 	// BatchSizes, when non-empty, adds a metamorphic batch-invariance pass:
 	// the shared plan re-runs under one pace vector with each vectorized
 	// chunk size, and every run must produce both identical query results
@@ -67,6 +78,7 @@ func DefaultCheckOptions() CheckOptions {
 		Scheduler:    true,
 		Churn:        true,
 		Arrangements: true,
+		Reuse:        true,
 		BatchSizes:   []int{1, 7, 1024},
 	}
 }
@@ -269,6 +281,92 @@ func Check(w *Workload, opts CheckOptions) (*Mismatch, error) {
 						Config: config,
 						Query:  -1,
 						SQL:    "modeled work must be sharing-invariant",
+						Got:    []string{fmt.Sprintf("%s: %s", config, diff)},
+						Want:   []string{fmt.Sprintf("report identical to %s", refConfig)},
+					}, nil
+				}
+			}
+		}
+	}
+	// Reuse-invariance: window-level result reuse on vs. off must change
+	// neither results nor any modeled-work number, nor the deterministic
+	// skippable-firing count, on the shared plan and on the fully unshared
+	// decomposition. The stream is split into a few windows (uniform pace 2
+	// per window) so idle-cone windows actually occur.
+	if opts.Reuse {
+		variants := []struct {
+			name string
+			g    *mqo.Graph
+		}{{"shared", shared}}
+		if opts.Decompose {
+			ug, err := buildGraph(mqo.BuildOptions{Classes: func(sig string, q int) int { return q }}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: unshared build: %w", err)
+			}
+			variants = append(variants, struct {
+				name string
+				g    *mqo.Graph
+			}{"unshared", ug})
+		}
+		windows := 2 + r.Intn(2)
+		for _, v := range variants {
+			var ref *exec.Report
+			var refConfig string
+			refSkippable := int64(-1)
+			for _, reuse := range []bool{true, false} {
+				config := fmt.Sprintf("%s/reuse=%v/windows=%d", v.name, reuse, windows)
+				runner, err := exec.NewDeltaRunnerReuse(v.g, exec.DeltaDataset{}, reuse)
+				if err != nil {
+					return nil, fmt.Errorf("oracle: %s: %w", config, err)
+				}
+				for k := 0; k < windows; k++ {
+					win := make(exec.DeltaDataset, len(data))
+					for name, ts := range data {
+						win[name] = ts[len(ts)*k/windows : len(ts)*(k+1)/windows]
+					}
+					runner.StartWindow(win)
+					for j := 1; j <= 2; j++ {
+						runner.ArriveWindow(j, 2)
+						for id := 0; id < len(v.g.Subplans); id++ {
+							runner.RunSubplan(id)
+						}
+					}
+				}
+				rep := runner.ReportNow()
+				for q := range queries {
+					got := Canon(runner.Results(q))
+					if !eqStrings(got, want[q]) {
+						return &Mismatch{Config: config, Query: q, SQL: w.SQL[q], Got: got, Want: want[q]}, nil
+					}
+				}
+				stats := runner.ReuseStats()
+				if !reuse && stats.Skipped != 0 {
+					return &Mismatch{
+						Config: config,
+						Query:  -1,
+						SQL:    "reuse off must not skip firings",
+						Got:    []string{fmt.Sprintf("skipped %d firings", stats.Skipped)},
+						Want:   []string{"skipped 0"},
+					}, nil
+				}
+				if refSkippable == -1 {
+					ref, refConfig, refSkippable = rep, config, stats.Skippable
+					continue
+				}
+				if stats.Skippable != refSkippable {
+					return &Mismatch{
+						Config: config,
+						Query:  -1,
+						SQL:    "skippable-firing count must be knob-independent",
+						Got:    []string{fmt.Sprintf("skippable %d", stats.Skippable)},
+						Want:   []string{fmt.Sprintf("skippable %d as in %s", refSkippable, refConfig)},
+					}, nil
+				}
+				if diff := reportDiff(ref, rep); diff != "" {
+					return &Mismatch{
+						Config: config,
+						Query:  -1,
+						SQL:    "modeled work must be reuse-invariant",
 						Got:    []string{fmt.Sprintf("%s: %s", config, diff)},
 						Want:   []string{fmt.Sprintf("report identical to %s", refConfig)},
 					}, nil

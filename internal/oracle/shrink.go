@@ -63,6 +63,7 @@ func cloneWorkload(w *Workload) *Workload {
 			Admit:       append([]int(nil), w.Churn.Admit...),
 			Retire:      append([]int(nil), w.Churn.Retire...),
 			ToggleShare: append([]int(nil), w.Churn.ToggleShare...),
+			ToggleReuse: append([]int(nil), w.Churn.ToggleReuse...),
 		}
 	}
 	return c
@@ -114,6 +115,24 @@ func shrinkChurn(w *Workload, failing func(*Workload) bool) bool {
 	for i := 0; i < len(w.Churn.ToggleShare); {
 		cand := cloneWorkload(w)
 		cand.Churn.ToggleShare = append(cand.Churn.ToggleShare[:i], cand.Churn.ToggleShare[i+1:]...)
+		if failing(cand) {
+			*w = *cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	if len(w.Churn.ToggleReuse) > 0 {
+		cand := cloneWorkload(w)
+		cand.Churn.ToggleReuse = nil
+		if failing(cand) {
+			*w = *cand
+			changed = true
+		}
+	}
+	for i := 0; i < len(w.Churn.ToggleReuse); {
+		cand := cloneWorkload(w)
+		cand.Churn.ToggleReuse = append(cand.Churn.ToggleReuse[:i], cand.Churn.ToggleReuse[i+1:]...)
 		if failing(cand) {
 			*w = *cand
 			changed = true
@@ -302,13 +321,15 @@ func ReproGo(w *Workload) string {
 	}
 	b.WriteString("\t},\n")
 	if w.Churn != nil {
+		churn := fmt.Sprintf("\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s",
+			w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire))
 		if len(w.Churn.ToggleShare) > 0 {
-			fmt.Fprintf(&b, "\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s, ToggleShare: %s},\n",
-				w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire), goInts(w.Churn.ToggleShare))
-		} else {
-			fmt.Fprintf(&b, "\tChurn: &oracle.ChurnPlan{Windows: %d, Admit: %s, Retire: %s},\n",
-				w.Churn.Windows, goInts(w.Churn.Admit), goInts(w.Churn.Retire))
+			churn += ", ToggleShare: " + goInts(w.Churn.ToggleShare)
 		}
+		if len(w.Churn.ToggleReuse) > 0 {
+			churn += ", ToggleReuse: " + goInts(w.Churn.ToggleReuse)
+		}
+		b.WriteString(churn + "},\n")
 	}
 	b.WriteString("}\n")
 	b.WriteString("m, err := oracle.Check(w, oracle.DefaultCheckOptions())\n")

@@ -341,6 +341,23 @@ func (p *Profiler) SetModeled(modeled []float64) {
 	p.cfg.Modeled = append([]float64(nil), modeled...)
 }
 
+// Rebase installs a new per-subplan baseline and resets every drift EWMA to
+// unobserved — the recalibration entry point. SetModeled alone would keep
+// folding post-recalibration ratios into an EWMA still dominated by the
+// drifted history, re-raising alerts for windows while the average decays;
+// after a recalibration the corrected model is the new normal, so drift
+// tracking restarts from scratch against it. ModeledAt, when configured,
+// still wins (matrix-driven tests pin their own baselines).
+func (p *Profiler) Rebase(modeled []float64) {
+	if p == nil || (modeled != nil && len(modeled) != p.cfg.Subplans) {
+		return
+	}
+	p.cfg.Modeled = append([]float64(nil), modeled...)
+	for i := range p.ewma {
+		p.ewma[i] = math.NaN()
+	}
+}
+
 // Graft resizes the profiler to a new plan revision with n subplans and the
 // given baseline (nil disables drift updates until SetModeled). Surviving
 // subplan ids keep their drift EWMA — graft keeps ids slot-stable — while

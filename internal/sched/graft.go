@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ishare/internal/cost"
 	"ishare/internal/exec"
 	"ishare/internal/metrics"
 	"ishare/internal/mqo"
@@ -77,6 +78,22 @@ func (s *Scheduler) Graft(g *mqo.Graph, paces []int, deadlines []time.Duration) 
 	s.spent = make([]time.Duration, n)
 	s.winSubExecs = make([]int64, n)
 	s.winSubWork = make([]int64, n)
+	// The recalibration trigger restarts from scratch on the new revision:
+	// alert streaks describe the old graph's subplans, and the policy's
+	// model — if one is installed — was built over the old graph. A model
+	// over the new graph starts uncalibrated (the profiler's baseline is
+	// cleared too, so no alerts fire until the caller rebases); constraints
+	// that no longer fit the new query count disable the policy entirely.
+	s.streak = make([]int, n)
+	s.recalCooldown = 0
+	if rp := s.cfg.Recalibrate; rp != nil {
+		if len(rp.Constraints) == g.Plan.NumQueries() {
+			rp.Model = cost.NewModel(g)
+		} else {
+			s.cfg.Recalibrate = nil
+		}
+	}
+	s.flushReuseStats()
 	// Counters are registry-backed by name, so a subplan ID that exists in
 	// both revisions keeps accumulating into the same counter.
 	s.subExecs = make([]*metrics.Counter, n)

@@ -115,6 +115,14 @@ type Config struct {
 	// arrangement stats) for StatusHandler's statusz endpoint. nil
 	// disables.
 	Status *StatusBoard
+	// Recalibrate optionally closes the cost loop: when drift alerts
+	// persist for Persistence consecutive windows, the scheduler folds the
+	// observed drift back into the cost model and re-searches the pace
+	// vector (warm-started from the live memo), swapping it at the window
+	// boundary. Requires Profile. nil disables. A recalibration preempts
+	// degradation in the window that triggers it — retuning the model
+	// subsumes the blunt pace-halving response.
+	Recalibrate *RecalibratePolicy
 }
 
 // FiringRecord traces one incremental execution (recorded when Config.Trace
@@ -153,17 +161,21 @@ type WindowStats struct {
 	// Degraded is the degradation decision taken after this window, if
 	// any.
 	Degraded *Decision `json:"degraded,omitempty"`
+	// Recalibrated is the closed-loop recalibration performed after this
+	// window, if any.
+	Recalibrated *Recalibration `json:"recalibrated,omitempty"`
 }
 
 // Result summarizes a whole scheduler run.
 type Result struct {
-	Windows    []WindowStats  `json:"windows"`
-	Decisions  []Decision     `json:"decisions"`
-	FinalPaces []int          `json:"final_paces"`
-	TotalWork  int64          `json:"total_work"`
-	Met        int            `json:"met"`
-	Missed     int            `json:"missed"`
-	Trace      []FiringRecord `json:"trace,omitempty"`
+	Windows        []WindowStats   `json:"windows"`
+	Decisions      []Decision      `json:"decisions"`
+	Recalibrations []Recalibration `json:"recalibrations,omitempty"`
+	FinalPaces     []int           `json:"final_paces"`
+	TotalWork      int64           `json:"total_work"`
+	Met            int             `json:"met"`
+	Missed         int             `json:"missed"`
+	Trace          []FiringRecord  `json:"trace,omitempty"`
 }
 
 // Scheduler drives one plan's incremental executions against the clock. Use
@@ -206,6 +218,12 @@ type Scheduler struct {
 	// lastArr is the arrangement registry's lifetime counters at the last
 	// flush, so window metrics carry per-window deltas.
 	lastArr exec.ArrangeStats
+	// lastReuse mirrors lastArr for the runner's reuse counters.
+	lastReuse exec.ReuseStats
+	// streak counts each subplan's consecutive alert windows for the
+	// recalibration trigger; recalCooldown disarms it after a firing.
+	streak        []int
+	recalCooldown int
 
 	res  Result
 	done bool
@@ -226,6 +244,26 @@ func (s *Scheduler) flushArrangeStats() exec.ArrangeStats {
 	s.reg.Counter("exec.arrangements.shared_attaches").Add(d.SharedAttaches)
 	s.reg.Counter("exec.arrangements.freed").Add(d.Freed)
 	s.lastArr = st
+	return d
+}
+
+// flushReuseStats publishes the runner's reuse accounting as per-window
+// deltas, mirroring flushArrangeStats. The skippable column (clean-cone
+// firings, counted whether or not the knob is on) is deterministic; skipped
+// is the physical count and depends on the knob.
+func (s *Scheduler) flushReuseStats() exec.ReuseStats {
+	st := s.runner.ReuseStats()
+	d := exec.ReuseStats{
+		Skippable: st.Skippable - s.lastReuse.Skippable,
+		Skipped:   st.Skipped - s.lastReuse.Skipped,
+	}
+	if d.Skippable > 0 {
+		s.reg.Counter("exec.reuse.skippable").Add(d.Skippable)
+	}
+	if d.Skipped > 0 {
+		s.reg.Counter("exec.reuse.skipped").Add(d.Skipped)
+	}
+	s.lastReuse = st
 	return d
 }
 
@@ -277,6 +315,7 @@ func New(g *mqo.Graph, paces []int, src Source, cfg Config) (*Scheduler, error) 
 		depth:  make([]int, len(g.Subplans)),
 		finish: make([]time.Time, len(g.Subplans)),
 		spent:  make([]time.Duration, len(g.Subplans)),
+		streak: make([]int, len(g.Subplans)),
 	}
 	for _, sub := range g.Subplans { // children-first order
 		d := 0
@@ -606,9 +645,16 @@ func (s *Scheduler) closeWindow() {
 	s.reg.Counter("sched.deadline_met").Add(int64(ws.Met))
 	s.reg.Counter("sched.deadline_missed").Add(int64(ws.Missed))
 	ws.Overloaded = ws.Missed > 0 || s.maxLag > s.cfg.LagThreshold
+	// Drift settles before the degradation check so a recalibration —
+	// which retunes the model the paces came from — can preempt the blunt
+	// pace-halving response in the window that triggers it.
+	_, alerts := s.prof.FlushWindow(s.window)
+	if rec := s.maybeRecalibrate(alerts); rec != nil {
+		ws.Recalibrated = rec
+	}
 	if ws.Overloaded {
 		s.reg.Counter("sched.overloaded_windows").Inc()
-		if !s.cfg.DisableDegradation {
+		if !s.cfg.DisableDegradation && ws.Recalibrated == nil {
 			if d := s.degrade(ws.QuerySlack); d != nil {
 				d.Window = s.window
 				ws.Degraded = d
@@ -644,7 +690,6 @@ func (s *Scheduler) closeWindow() {
 	s.reg.Gauge("sched.window").Set(float64(s.window))
 	s.reg.Gauge("sched.live_queries").Set(float64(nq))
 	s.reg.Gauge("sched.last_max_lag_ms").Set(float64(s.maxLag) / float64(time.Millisecond))
-	_, alerts := s.prof.FlushWindow(s.window)
 	atNS := winEnd.Sub(s.epoch).Nanoseconds()
 	if s.ev.Enabled() {
 		for _, a := range alerts {
@@ -659,11 +704,23 @@ func (s *Scheduler) closeWindow() {
 			})
 		}
 	}
+	if ws.Recalibrated != nil {
+		s.emitRecalibration(ws.Recalibrated, atNS, winEnd)
+	}
 	arr := s.flushArrangeStats()
+	reuse := s.flushReuseStats()
 	if s.ev.Enabled() {
 		if arr.Built != 0 || arr.SharedAttaches != 0 || arr.Freed != 0 {
 			s.ev.Emit("arrangements", atNS, s.window, -1, -1, map[string]interface{}{
 				"built": arr.Built, "shared_attaches": arr.SharedAttaches, "freed": arr.Freed,
+			})
+		}
+		if reuse.Skippable > 0 {
+			// Only the deterministic skippable count goes on the log: the
+			// physical skipped count depends on the ISHARE_REUSE knob, and
+			// the event log must stay byte-identical with reuse on or off.
+			s.ev.Emit("reuse.skip", atNS, s.window, -1, -1, map[string]interface{}{
+				"skippable": reuse.Skippable,
 			})
 		}
 		s.ev.Emit("window.close", atNS, s.window, -1, -1, map[string]interface{}{

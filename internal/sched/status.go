@@ -47,6 +47,15 @@ type Status struct {
 	Queries      []QueryStatus     `json:"queries"`
 	Subplans     []SubplanStatus   `json:"subplans"`
 	Arrangements exec.ArrangeStats `json:"arrangements"`
+	// Reuse is the runner's cumulative window-reuse accounting. Skippable
+	// (clean-cone firings) is deterministic; Skipped depends on the
+	// ISHARE_REUSE knob.
+	Reuse exec.ReuseStats `json:"reuse"`
+	// Recalibrations counts closed-loop cost recalibrations so far;
+	// LastRecalibration is the window the latest one fired in (-1 before
+	// any).
+	Recalibrations    int `json:"recalibrations"`
+	LastRecalibration int `json:"last_recalibration"`
 }
 
 // StatusBoard hands the scheduler's latest Status to an HTTP endpoint: the
@@ -120,6 +129,12 @@ func (s *Scheduler) buildStatus(ws WindowStats) Status {
 		Met:          s.res.Met,
 		Missed:       s.res.Missed,
 		Arrangements: s.runner.ArrangeStats(),
+		Reuse:        s.runner.ReuseStats(),
+	}
+	st.Recalibrations = len(s.res.Recalibrations)
+	st.LastRecalibration = -1
+	if n := len(s.res.Recalibrations); n > 0 {
+		st.LastRecalibration = s.res.Recalibrations[n-1].Window
 	}
 	st.Queries = make([]QueryStatus, len(ws.QuerySlack))
 	for q, slack := range ws.QuerySlack {

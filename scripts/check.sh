@@ -5,12 +5,14 @@
 # native fuzz targets, a scheduler soak and a churn soak. Set SKIP_FUZZ=1
 # to stop after the race tests, FUZZTIME (default 10s) to change the
 # per-target fuzz budget, SOAKTIME (default 10s) for the scheduler soak,
-# and CHURNTIME (default 10s) for the online-admission churn soak.
+# CHURNTIME (default 10s) for the online-admission churn soak, and
+# RECALTIME (default 10s) for the closed-loop recalibration soak.
 set -eu
 
 FUZZTIME="${FUZZTIME:-10s}"
 SOAKTIME="${SOAKTIME:-10s}"
 CHURNTIME="${CHURNTIME:-10s}"
+RECALTIME="${RECALTIME:-10s}"
 
 cd "$(dirname "$0")/.."
 
@@ -37,6 +39,14 @@ ISHARE_BATCH=3 go test -count=1 ./internal/exec ./internal/oracle
 # in both modes; the oracle also flips the knob mid-churn).
 echo "== go test (ISHARE_SHARE_ARRANGEMENTS=0)"
 ISHARE_SHARE_ARRANGEMENTS=0 go test -count=1 ./internal/exec ./internal/oracle
+
+# Reuse-off coverage: rerun the executor, scheduler and differential tests
+# with window-level result reuse disabled, so the skip-clean-cones fast path
+# stays proven observationally invisible (results, modeled work and event
+# logs are required to be byte-identical in both modes; the oracle also
+# flips the knob mid-churn).
+echo "== go test (ISHARE_REUSE=0)"
+ISHARE_REUSE=0 go test -count=1 ./internal/exec ./internal/sched ./internal/oracle
 
 echo "== trace smoke (-experiment sched -trace)"
 TRACE_OUT="$(mktemp /tmp/ishare-trace.XXXXXX.json)"
@@ -74,11 +84,11 @@ kill "$ISHARE_PID"
 # Informational benchmark diff: when both the frozen baseline and a current
 # bench-json report exist, print the per-benchmark deltas. Never fails the
 # gate — CI-runner noise is too high for a hard perf gate.
-if [ -f BENCH_PR8.json ] && [ -f BENCH_PR9.json ]; then
+if [ -f BENCH_PR9.json ] && [ -f BENCH_PR10.json ]; then
 	echo "== bench-diff (informational)"
-	go run ./cmd/benchdiff BENCH_PR8.json BENCH_PR9.json || true
+	go run ./cmd/benchdiff BENCH_PR9.json BENCH_PR10.json || true
 else
-	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR9.json)"
+	echo "== bench-diff skipped (run 'make bench-json' to produce BENCH_PR10.json)"
 fi
 
 if [ "${SKIP_FUZZ:-}" != "1" ]; then
@@ -87,6 +97,9 @@ if [ "${SKIP_FUZZ:-}" != "1" ]; then
 
 	echo "== churn soak ($CHURNTIME, race)"
 	go test ./internal/oracle -race -run TestChurnSoak -churntime "$CHURNTIME"
+
+	echo "== recalibration soak ($RECALTIME, race)"
+	go test ./internal/sched -race -run TestRecalibrationSoak -recaltime "$RECALTIME"
 
 	echo "== fuzz smoke ($FUZZTIME per target)"
 	go test ./internal/oracle -run '^$' -fuzz FuzzEngineVsOracle -fuzztime "$FUZZTIME"
